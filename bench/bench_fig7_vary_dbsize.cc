@@ -1,0 +1,62 @@
+// Figure 7 (§6.2): information loss (a) and time (b) as the table size
+// varies (paper: 100K..500K tuples; here 0.2x..1x of the scaled default),
+// at beta = 4 and QI = 3.
+#include "baseline/mondrian.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/burel.h"
+#include "metrics/info_loss.h"
+
+namespace betalike {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 7: AIL and time vs |DB| (beta = 4, QI = 3)",
+      "time grows with table size; AIL has no clear size trend; BUREL "
+      "stays lowest on AIL and time");
+  auto full = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
+  Rng rng(99);
+
+  TextTable out({"rows", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",
+                 "time_s(BUREL)", "time_s(LMondrian)", "time_s(DMondrian)"});
+  for (int step = 1; step <= 5; ++step) {
+    const int64_t rows = bench::DefaultRows() * step / 5;
+    auto table =
+        std::make_shared<Table>(full->SampleRows(rows, &rng));
+
+    WallTimer timer;
+    BurelOptions opts;
+    opts.beta = 4.0;
+    auto pb = AnonymizeWithBurel(table, opts);
+    const double tb = timer.ElapsedSeconds();
+    BETALIKE_CHECK(pb.ok()) << pb.status().ToString();
+
+    timer.Restart();
+    auto pl = Mondrian::ForBetaLikeness(4.0).Anonymize(table);
+    const double tl = timer.ElapsedSeconds();
+    BETALIKE_CHECK(pl.ok());
+
+    timer.Restart();
+    auto pd = Mondrian::ForDeltaFromBeta(4.0).Anonymize(table);
+    const double td = timer.ElapsedSeconds();
+    BETALIKE_CHECK(pd.ok());
+
+    out.AddRow({StrFormat("%lld", static_cast<long long>(rows)),
+                StrFormat("%.4f", AverageInfoLoss(*pb)),
+                StrFormat("%.4f", AverageInfoLoss(*pl)),
+                StrFormat("%.4f", AverageInfoLoss(*pd)),
+                StrFormat("%.3f", tb), StrFormat("%.3f", tl),
+                StrFormat("%.3f", td)});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace betalike
+
+int main() {
+  betalike::Run();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) for the component costs behind the
+// end-to-end numbers: Hilbert encoding, DP bucketization, the curve
+// bisection, the ECTree pipeline, matrix inversion, perturbation, and
+// query evaluation primitives.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/bucket_partition.h"
+#include "core/burel.h"
+#include "core/retrieve.h"
+#include "hilbert/hilbert.h"
+#include "perturb/perturbation.h"
+#include "query/estimator.h"
+#include "query/workload.h"
+
+namespace betalike {
+namespace {
+
+std::shared_ptr<const Table> BenchTable(int64_t rows) {
+  static auto table = bench::MakeCensus(100000, 3);
+  if (rows >= table->num_rows()) return table;
+  Rng rng(7);
+  return std::make_shared<Table>(table->SampleRows(rows, &rng));
+}
+
+void BM_HilbertEncode(benchmark::State& state) {
+  auto curve = HilbertCurve::Create(static_cast<int>(state.range(0)), 7);
+  BETALIKE_CHECK(curve.ok());
+  std::vector<uint32_t> axes(curve->dims(), 63);
+  for (auto _ : state) {
+    axes[0] = (axes[0] + 1) & 127;
+    benchmark::DoNotOptimize(curve->Encode(axes));
+  }
+}
+BENCHMARK(BM_HilbertEncode)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_HilbertKeysFullTable(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    auto keys = ComputeHilbertKeys(*table);
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_HilbertKeysFullTable)->Arg(10000)->Arg(100000);
+
+void BM_DpPartition(benchmark::State& state) {
+  auto table = BenchTable(100000);
+  const std::vector<double> freqs = table->SaFrequencies();
+  auto model = BetaLikenessModel::Create(4.0);
+  BETALIKE_CHECK(model.ok());
+  for (auto _ : state) {
+    auto partition = DpPartition(freqs, *model);
+    benchmark::DoNotOptimize(partition);
+  }
+}
+BENCHMARK(BM_DpPartition);
+
+void BM_BurelCurveBisect(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    BurelOptions opts;
+    opts.beta = 4.0;
+    auto published = AnonymizeWithBurel(table, opts);
+    benchmark::DoNotOptimize(published);
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_BurelCurveBisect)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BurelEcTree(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  for (auto _ : state) {
+    BurelOptions opts;
+    opts.beta = 4.0;
+    opts.formation = BurelOptions::Formation::kEcTree;
+    auto published = AnonymizeWithBurel(table, opts);
+    benchmark::DoNotOptimize(published);
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_BurelEcTree)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatrixInvert50(benchmark::State& state) {
+  auto table = BenchTable(100000);
+  PerturbationOptions opts;
+  opts.beta = 4.0;
+  auto scheme = BetaPerturber::Create(*table, opts);
+  BETALIKE_CHECK(scheme.ok());
+  const Matrix& pm = scheme->transition();
+  for (auto _ : state) {
+    auto inv = pm.Invert();
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_MatrixInvert50);
+
+void BM_PerturbTable(benchmark::State& state) {
+  auto table = BenchTable(state.range(0));
+  PerturbationOptions opts;
+  opts.beta = 4.0;
+  auto scheme = BetaPerturber::Create(*table, opts);
+  BETALIKE_CHECK(scheme.ok());
+  for (auto _ : state) {
+    auto perturbed = scheme->Perturb(*table);
+    benchmark::DoNotOptimize(perturbed);
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_PerturbTable)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_PreciseCount(benchmark::State& state) {
+  auto table = BenchTable(100000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 16;
+  wopts.lambda = 3;
+  wopts.selectivity = 0.1;
+  auto workload = GenerateWorkload(table->schema(), wopts);
+  BETALIKE_CHECK(workload.ok());
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PreciseCount(*table, (*workload)[q++ % workload->size()]));
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_PreciseCount);
+
+void BM_GeneralizedEstimate(benchmark::State& state) {
+  auto table = BenchTable(100000);
+  BurelOptions opts;
+  opts.beta = 4.0;
+  auto published = AnonymizeWithBurel(table, opts);
+  BETALIKE_CHECK(published.ok());
+  WorkloadOptions wopts;
+  wopts.num_queries = 16;
+  wopts.lambda = 3;
+  wopts.selectivity = 0.1;
+  auto workload = GenerateWorkload(table->schema(), wopts);
+  BETALIKE_CHECK(workload.ok());
+  size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateFromGeneralized(
+        *published, (*workload)[q++ % workload->size()]));
+  }
+}
+BENCHMARK(BM_GeneralizedEstimate);
+
+}  // namespace
+}  // namespace betalike
+
+BENCHMARK_MAIN();

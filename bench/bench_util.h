@@ -1,0 +1,65 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper's
+// evaluation (§6-7): it prints the same series the paper plots, plus a
+// "# shape:" line stating the qualitative claim under reproduction.
+// Dataset sizes scale with the REPRO_SCALE environment variable
+// (default 1 = 100K-tuple CENSUS; REPRO_SCALE=5 reproduces the paper's
+// 500K default).
+#ifndef BETALIKE_BENCH_BENCH_UTIL_H_
+#define BETALIKE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "census/census.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/table.h"
+
+namespace betalike {
+namespace bench {
+
+inline int ReproScale() {
+  const char* env = std::getenv("REPRO_SCALE");
+  if (env == nullptr) return 1;
+  int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
+
+/// Default bench dataset size: 100K tuples at scale 1 (paper: 500K).
+inline int64_t DefaultRows() { return 100000LL * ReproScale(); }
+
+/// Number of aggregation queries per workload: 2K at scale 1 (paper: 10K).
+inline int DefaultQueries() { return 2000 * ReproScale(); }
+
+/// CENSUS table with the first `qi_prefix` QI attributes (paper default 3).
+inline std::shared_ptr<const Table> MakeCensus(int64_t rows, int qi_prefix,
+                                               uint64_t seed = 42) {
+  CensusOptions options;
+  options.num_rows = rows;
+  options.seed = seed;
+  auto full = GenerateCensus(options);
+  BETALIKE_CHECK(full.ok()) << full.status().ToString();
+  auto table = std::make_shared<Table>(std::move(full).value());
+  if (qi_prefix >= table->num_qi()) return table;
+  auto prefixed = table->WithQiPrefix(qi_prefix);
+  BETALIKE_CHECK(prefixed.ok()) << prefixed.status().ToString();
+  return std::make_shared<Table>(std::move(prefixed).value());
+}
+
+inline void PrintHeader(const char* experiment, const char* shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("# dataset: synthetic CENSUS, %lld tuples (REPRO_SCALE=%d)\n",
+              static_cast<long long>(DefaultRows()), ReproScale());
+  std::printf("# shape: %s\n", shape);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace betalike
+
+#endif  // BETALIKE_BENCH_BENCH_UTIL_H_
