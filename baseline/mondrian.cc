@@ -1,0 +1,189 @@
+#include "baseline/mondrian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/burel.h"
+
+namespace betalike {
+namespace {
+
+// Evaluates whether one candidate equivalence class satisfies the
+// configured privacy model against the overall SA distribution.
+class Predicate {
+ public:
+  enum class Kind { kBetaLikeness, kDeltaDisclosure, kTCloseness };
+
+  Predicate(Kind kind, double param, const std::vector<double>& freqs)
+      : kind_(kind), freqs_(freqs) {
+    if (kind == Kind::kBetaLikeness) {
+      BurelOptions options;
+      options.beta = param;
+      thresholds_ = BetaLikenessThresholds(freqs, options);
+    } else if (kind == Kind::kDeltaDisclosure) {
+      // δ = ln(1 + β): q/p < e^δ = 1 + β and q/p > e^-δ.
+      ratio_hi_ = 1.0 + param;
+      ratio_lo_ = 1.0 / ratio_hi_;
+    } else {
+      t_ = param;
+    }
+  }
+
+  bool Holds(const std::vector<int64_t>& counts, int64_t size) const {
+    const double n = static_cast<double>(size);
+    switch (kind_) {
+      case Kind::kBetaLikeness:
+        for (size_t v = 0; v < counts.size(); ++v) {
+          if (static_cast<double>(counts[v]) > thresholds_[v] * n) {
+            return false;
+          }
+        }
+        return true;
+      case Kind::kDeltaDisclosure:
+        // δ-disclosure bounds |ln(q/p)| for every value of the domain,
+        // so every value with p > 0 must be present in every class.
+        for (size_t v = 0; v < counts.size(); ++v) {
+          if (freqs_[v] <= 0.0) continue;
+          const double ratio =
+              static_cast<double>(counts[v]) / n / freqs_[v];
+          if (ratio >= ratio_hi_ || ratio <= ratio_lo_) return false;
+        }
+        return true;
+      case Kind::kTCloseness: {
+        double distance = 0.0;
+        for (size_t v = 0; v < counts.size(); ++v) {
+          distance +=
+              std::fabs(static_cast<double>(counts[v]) / n - freqs_[v]);
+        }
+        return 0.5 * distance <= t_;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Kind kind_;
+  const std::vector<double>& freqs_;
+  std::vector<double> thresholds_;
+  double ratio_hi_ = 0.0;
+  double ratio_lo_ = 0.0;
+  double t_ = 0.0;
+};
+
+std::vector<int64_t> CountValues(const Table& table,
+                                 const std::vector<int64_t>& rows) {
+  std::vector<int64_t> counts(table.sa_spec().num_values, 0);
+  for (int64_t row : rows) ++counts[table.sa_value(row)];
+  return counts;
+}
+
+}  // namespace
+
+Mondrian Mondrian::ForBetaLikeness(double beta) {
+  return Mondrian(Model::kBetaLikeness, beta);
+}
+
+Mondrian Mondrian::ForDeltaFromBeta(double beta) {
+  return Mondrian(Model::kDeltaDisclosure, beta);
+}
+
+Mondrian Mondrian::ForTCloseness(double t) {
+  return Mondrian(Model::kTCloseness, t);
+}
+
+Result<GeneralizedTable> Mondrian::Anonymize(
+    std::shared_ptr<const Table> table) const {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (table->num_rows() == 0) {
+    return Status::InvalidArgument("empty table");
+  }
+  if (model_ == Model::kTCloseness) {
+    if (!(param_ >= 0.0) || !std::isfinite(param_)) {
+      return Status::InvalidArgument(
+          StrFormat("t = %f must be a finite non-negative number",
+                    param_));
+    }
+  } else if (!(param_ > 0.0) || !std::isfinite(param_)) {
+    return Status::InvalidArgument(StrFormat(
+        "beta = %f must be a positive finite number", param_));
+  }
+
+  const std::vector<double> freqs = table->SaFrequencies();
+  const Predicate predicate(
+      model_ == Model::kBetaLikeness ? Predicate::Kind::kBetaLikeness
+      : model_ == Model::kDeltaDisclosure
+          ? Predicate::Kind::kDeltaDisclosure
+          : Predicate::Kind::kTCloseness,
+      param_, freqs);
+
+  const int dims = table->num_qi();
+  std::vector<std::vector<int64_t>> leaves;
+  std::vector<std::vector<int64_t>> stack;
+  {
+    std::vector<int64_t> all(table->num_rows());
+    for (int64_t i = 0; i < table->num_rows(); ++i) all[i] = i;
+    stack.push_back(std::move(all));
+  }
+
+  std::vector<int32_t> scratch;
+  while (!stack.empty()) {
+    std::vector<int64_t> node = std::move(stack.back());
+    stack.pop_back();
+
+    // Try dimensions widest-normalized-extent first, as in Mondrian.
+    std::vector<std::pair<double, int>> dim_order;
+    dim_order.reserve(dims);
+    for (int d = 0; d < dims; ++d) {
+      int32_t lo = table->qi_value(node[0], d);
+      int32_t hi = lo;
+      for (int64_t row : node) {
+        lo = std::min(lo, table->qi_value(row, d));
+        hi = std::max(hi, table->qi_value(row, d));
+      }
+      const int64_t extent = table->qi_spec(d).extent();
+      const double width =
+          extent > 0 ? static_cast<double>(hi - lo) / extent : 0.0;
+      if (hi > lo) dim_order.emplace_back(-width, d);
+    }
+    std::sort(dim_order.begin(), dim_order.end());
+
+    bool split_done = false;
+    for (const auto& [neg_width, d] : dim_order) {
+      (void)neg_width;
+      scratch.clear();
+      scratch.reserve(node.size());
+      for (int64_t row : node) scratch.push_back(table->qi_value(row, d));
+      std::nth_element(scratch.begin(),
+                       scratch.begin() + scratch.size() / 2,
+                       scratch.end());
+      int32_t split = scratch[scratch.size() / 2];
+      const int32_t dim_max =
+          *std::max_element(scratch.begin(), scratch.end());
+      // Left takes v <= split; keep the right side non-empty.
+      if (split == dim_max) --split;
+
+      std::vector<int64_t> left, right;
+      for (int64_t row : node) {
+        (table->qi_value(row, d) <= split ? left : right).push_back(row);
+      }
+      if (left.empty() || right.empty()) continue;
+      if (predicate.Holds(CountValues(*table, left),
+                          static_cast<int64_t>(left.size())) &&
+          predicate.Holds(CountValues(*table, right),
+                          static_cast<int64_t>(right.size()))) {
+        stack.push_back(std::move(left));
+        stack.push_back(std::move(right));
+        split_done = true;
+        break;
+      }
+    }
+    if (!split_done) leaves.push_back(std::move(node));
+  }
+
+  return GeneralizedTable::Create(std::move(table), std::move(leaves));
+}
+
+}  // namespace betalike

@@ -1,0 +1,46 @@
+// Mondrian multidimensional partitioning (LeFevre et al.) adapted as the
+// paper's comparison baselines (§6): strict top-down median splits of
+// the QI space, where a split is admissible only if both halves satisfy
+// the configured privacy predicate.
+//
+//   ForBetaLikeness(beta)  — "LMondrian": enhanced β-likeness predicate.
+//   ForDeltaFromBeta(beta) — "DMondrian": δ-disclosure (Brickell &
+//       Shmatikov) with δ = ln(1 + beta), the tightest δ that implies
+//       basic β-likeness; it also bounds q_v from below, so it is the
+//       strictest (highest-AIL) of the three.
+//   ForTCloseness(t)       — t-closeness with variational-distance EMD
+//       (uniform ground metric), used by the Figure 4 equalizations.
+#ifndef BETALIKE_BASELINE_MONDRIAN_H_
+#define BETALIKE_BASELINE_MONDRIAN_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+class Mondrian {
+ public:
+  static Mondrian ForBetaLikeness(double beta);
+  static Mondrian ForDeltaFromBeta(double beta);
+  static Mondrian ForTCloseness(double t);
+
+  // Partitions `table` into equivalence classes, splitting while the
+  // privacy predicate holds on both halves. Fails on invalid parameters
+  // or an empty table.
+  Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const;
+
+ private:
+  enum class Model { kBetaLikeness, kDeltaDisclosure, kTCloseness };
+
+  Mondrian(Model model, double param) : model_(model), param_(param) {}
+
+  Model model_;
+  double param_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_BASELINE_MONDRIAN_H_

@@ -13,8 +13,9 @@ namespace {
 void Run() {
   bench::PrintHeader(
       "Figure 5: AIL and time vs beta (BUREL, LMondrian, DMondrian)",
-      "BUREL achieves the lowest AIL at every beta and is the fastest; "
-      "all AILs fall as beta grows");
+      "BUREL achieves the lowest AIL at every beta; all AILs fall as "
+      "beta grows (paper also shows BUREL fastest; this formation is "
+      "not yet time-optimized)");
   auto table = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
 
   TextTable out({"beta", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",

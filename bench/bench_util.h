@@ -9,6 +9,7 @@
 #ifndef BETALIKE_BENCH_BENCH_UTIL_H_
 #define BETALIKE_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -22,11 +23,38 @@
 namespace betalike {
 namespace bench {
 
+// Largest accepted REPRO_SCALE (1000 => 100M-tuple CENSUS).
+inline constexpr long kMaxReproScale = 1000;
+
+// Parses the REPRO_SCALE environment variable strictly: a malformed or
+// out-of-range value is rejected with an error log (instead of silently
+// degenerating to 1 the way atoi's 0 would). The value is re-read on
+// every call (tests change it at runtime); the rejection log is only
+// emitted once per distinct bad value to keep bench output readable.
 inline int ReproScale() {
   const char* env = std::getenv("REPRO_SCALE");
-  if (env == nullptr) return 1;
-  int scale = std::atoi(env);
-  return scale >= 1 ? scale : 1;
+  if (env == nullptr || *env == '\0') return 1;
+  static std::string last_warned;
+  const auto warn_once = [&](const std::string& message) {
+    if (last_warned != env) {
+      last_warned = env;
+      BETALIKE_LOG(ERROR) << message;
+    }
+  };
+  char* end = nullptr;
+  errno = 0;
+  const long scale = std::strtol(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') {
+    warn_once(StrFormat("REPRO_SCALE=\"%s\" is not an integer; using 1",
+                        env));
+    return 1;
+  }
+  if (scale < 1 || scale > kMaxReproScale) {
+    warn_once(StrFormat("REPRO_SCALE=%ld outside [1, %ld]; using 1",
+                        scale, kMaxReproScale));
+    return 1;
+  }
+  return static_cast<int>(scale);
 }
 
 /// Default bench dataset size: 100K tuples at scale 1 (paper: 500K).
@@ -51,12 +79,13 @@ inline std::shared_ptr<const Table> MakeCensus(int64_t rows, int qi_prefix,
 }
 
 inline void PrintHeader(const char* experiment, const char* shape) {
-  std::printf("==============================================================\n");
+  const std::string rule(62, '=');
+  std::printf("%s\n", rule.c_str());
   std::printf("%s\n", experiment);
   std::printf("# dataset: synthetic CENSUS, %lld tuples (REPRO_SCALE=%d)\n",
               static_cast<long long>(DefaultRows()), ReproScale());
   std::printf("# shape: %s\n", shape);
-  std::printf("==============================================================\n");
+  std::printf("%s\n", rule.c_str());
 }
 
 }  // namespace bench

@@ -1,0 +1,91 @@
+#include "census/census.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace betalike {
+namespace {
+
+// CDF of a Zipf(s) distribution over `n` values (value 0 most frequent).
+std::vector<double> ZipfCdf(int32_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (int32_t v = 0; v < n; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v + 1), s);
+    cdf[v] = total;
+  }
+  for (int32_t v = 0; v < n; ++v) cdf[v] /= total;
+  cdf[n - 1] = 1.0;  // guard against rounding
+  return cdf;
+}
+
+int32_t SampleCdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<int32_t>(it - cdf.begin());
+}
+
+}  // namespace
+
+Result<Table> GenerateCensus(const CensusOptions& options) {
+  if (options.num_rows < 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_rows = %lld must be >= 0",
+                  static_cast<long long>(options.num_rows)));
+  }
+  if (options.num_occupations < 2) {
+    return Status::InvalidArgument(
+        StrFormat("num_occupations = %d must be >= 2",
+                  options.num_occupations));
+  }
+  if (options.zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+
+  const std::vector<QiSpec> qi_schema = {
+      {"Age", 17, 79},      {"Gender", 0, 1}, {"Education", 0, 13},
+      {"Marital", 0, 5},    {"Race", 0, 8},
+  };
+  const SaSpec sa_schema = {"Occupation", options.num_occupations};
+  const std::vector<double> occupation_cdf =
+      ZipfCdf(options.num_occupations, options.zipf_exponent);
+
+  const int64_t n = options.num_rows;
+  std::vector<std::vector<int32_t>> qi_cols(kCensusNumQi);
+  for (auto& col : qi_cols) col.reserve(n);
+  std::vector<int32_t> sa;
+  sa.reserve(n);
+
+  Rng rng(options.seed);
+  for (int64_t row = 0; row < n; ++row) {
+    // Age: triangular hump on [17, 79] (sum of two uniforms).
+    const int32_t age =
+        17 + static_cast<int32_t>((rng.Below(63) + rng.Below(63) + 1) / 2);
+    const int32_t gender = static_cast<int32_t>(rng.Below(2));
+    // Education: descending frequency (min of two uniforms).
+    const int32_t education = static_cast<int32_t>(
+        std::min(rng.Below(14), rng.Below(14)));
+    const int32_t marital = static_cast<int32_t>(rng.Below(6));
+    // Race: one dominant code plus a uniform tail.
+    const int32_t race =
+        rng.NextDouble() < 0.7
+            ? 0
+            : 1 + static_cast<int32_t>(rng.Below(8));
+    const int32_t occupation = SampleCdf(occupation_cdf, rng.NextDouble());
+
+    qi_cols[0].push_back(age);
+    qi_cols[1].push_back(gender);
+    qi_cols[2].push_back(education);
+    qi_cols[3].push_back(marital);
+    qi_cols[4].push_back(race);
+    sa.push_back(occupation);
+  }
+
+  return Table::Create(qi_schema, sa_schema, std::move(qi_cols),
+                       std::move(sa));
+}
+
+}  // namespace betalike

@@ -1,0 +1,37 @@
+// Synthetic stand-in for the CENSUS (IPUMS) dataset used in the paper's
+// evaluation (§6): five QI attributes (Age, Gender, Education, Marital,
+// Race) and a 50-value Occupation sensitive attribute with a Zipfian
+// frequency profile.
+//
+// Generation is fully deterministic given (seed, num_rows): rows are
+// drawn one at a time from a single mt19937_64 stream, so the first k
+// rows of an n-row table (k < n, same seed) are identical to a k-row
+// table — REPRO_SCALE changes only append data.
+#ifndef BETALIKE_CENSUS_CENSUS_H_
+#define BETALIKE_CENSUS_CENSUS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct CensusOptions {
+  int64_t num_rows = 100000;
+  uint64_t seed = 42;
+  // Sensitive-attribute domain size (paper: Occupation, 50 values).
+  int32_t num_occupations = 50;
+  // Zipf exponent of the occupation frequency profile.
+  double zipf_exponent = 1.0;
+};
+
+// Number of QI attributes GenerateCensus produces (Age, Gender,
+// Education, Marital, Race).
+inline constexpr int kCensusNumQi = 5;
+
+Result<Table> GenerateCensus(const CensusOptions& options);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_CENSUS_CENSUS_H_

@@ -1,0 +1,66 @@
+// Logging and assertion macros.
+//
+//   BETALIKE_CHECK(cond) << "context";   // aborts with message if !cond
+//   BETALIKE_LOG(INFO) << "progress";    // stderr log line
+//
+// Both macros build a stream; the message is emitted when the temporary
+// is destroyed at the end of the full expression.
+#ifndef BETALIKE_COMMON_LOGGING_H_
+#define BETALIKE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace betalike {
+namespace internal {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Turns the stream expression into a void so the ternary in
+// BETALIKE_CHECK type-checks; '&' binds looser than '<<'.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace betalike
+
+#define BETALIKE_LOG_INFO \
+  ::betalike::internal::LogMessage(__FILE__, __LINE__,  \
+                                   ::betalike::internal::LogSeverity::kInfo)
+#define BETALIKE_LOG_WARNING                           \
+  ::betalike::internal::LogMessage(                    \
+      __FILE__, __LINE__, ::betalike::internal::LogSeverity::kWarning)
+#define BETALIKE_LOG_ERROR                             \
+  ::betalike::internal::LogMessage(                    \
+      __FILE__, __LINE__, ::betalike::internal::LogSeverity::kError)
+#define BETALIKE_LOG_FATAL                             \
+  ::betalike::internal::LogMessage(                    \
+      __FILE__, __LINE__, ::betalike::internal::LogSeverity::kFatal)
+
+#define BETALIKE_LOG(severity) BETALIKE_LOG_##severity.stream()
+
+// Aborts the process with the streamed message when `cond` is false.
+#define BETALIKE_CHECK(cond)                    \
+  (cond) ? (void)0                              \
+         : ::betalike::internal::LogMessageVoidify() &                        \
+               (BETALIKE_LOG_FATAL.stream() << "Check failed: " #cond " ")
+
+#endif  // BETALIKE_COMMON_LOGGING_H_

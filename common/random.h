@@ -1,0 +1,53 @@
+// Seeded RNG wrapper. mt19937_64's output sequence is fully specified by
+// the C++ standard, and the helpers below avoid the (implementation-
+// defined) std::*_distribution classes, so any (seed, call sequence) pair
+// produces identical streams on every platform/compiler — the CENSUS
+// generator and every sampled bench rely on this for reproducibility.
+#ifndef BETALIKE_COMMON_RANDOM_H_
+#define BETALIKE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+#include "common/logging.h"
+
+namespace betalike {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t NextUint64() { return engine_(); }
+
+  // Uniform integer in [0, n). Unbiased via rejection sampling: the
+  // accepted range [0, limit) holds exactly 2^64 - 1 - ((2^64-1) % n)
+  // values, a multiple of n.
+  uint64_t Below(uint64_t n) {
+    BETALIKE_CHECK(n > 0) << "Rng::Below(0)";
+    const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % n);
+    uint64_t draw;
+    do {
+      draw = engine_();
+    } while (draw >= limit);
+    return draw % n;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    BETALIKE_CHECK(lo <= hi) << "Rng::Uniform(" << lo << ", " << hi << ")";
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_RANDOM_H_

@@ -1,0 +1,171 @@
+// Minimal Status / Result<T> vocabulary types, modeled on absl::Status /
+// absl::StatusOr but dependency-free. Every fallible library call returns
+// one of these; BETALIKE_CHECK(x.ok()) << x.status().ToString() is the
+// idiom at call sites that cannot recover.
+#ifndef BETALIKE_COMMON_STATUS_H_
+#define BETALIKE_COMMON_STATUS_H_
+
+#include <new>
+#include <string>
+#include <utility>
+
+namespace betalike {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status. Accessing value()
+// on an error result aborts (via the check in EnsureOk).
+template <typename T>
+class Result {
+ public:
+  Result(const T& value) : has_value_(true) {  // NOLINT(runtime/explicit)
+    new (&value_) T(value);
+  }
+  Result(T&& value) : has_value_(true) {  // NOLINT(runtime/explicit)
+    new (&value_) T(std::move(value));
+  }
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : has_value_(false), status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&value_) T(other.value_);
+    } else {
+      status_ = other.status_;
+    }
+  }
+  Result(Result&& other) noexcept : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&value_) T(std::move(other.value_));
+    } else {
+      status_ = std::move(other.status_);
+    }
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&value_) T(other.value_);
+      } else {
+        status_ = other.status_;
+      }
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&value_) T(std::move(other.value_));
+      } else {
+        status_ = std::move(other.status_);
+      }
+    }
+    return *this;
+  }
+  ~Result() { Destroy(); }
+
+  bool ok() const { return has_value_; }
+  Status status() const { return has_value_ ? Status::Ok() : status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const {
+    EnsureOk();
+    return &value_;
+  }
+  T* operator->() {
+    EnsureOk();
+    return &value_;
+  }
+
+ private:
+  void Destroy() {
+    if (has_value_) value_.~T();
+  }
+  void EnsureOk() const;
+
+  bool has_value_;
+  union {
+    T value_;
+  };
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::EnsureOk() const {
+  if (!has_value_) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_STATUS_H_

@@ -1,0 +1,68 @@
+#include "common/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace betalike {
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  // +1: vsnprintf writes the terminating NUL into the buffer; std::string
+  // guarantees data()[size()] is writable as '\0' since C++11.
+  std::vsnprintf(&out[0], static_cast<size_t>(needed) + 1, format, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  BETALIKE_CHECK(cells.size() == header_.size())
+      << "row has " << cells.size() << " cells, header has "
+      << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+}  // namespace betalike

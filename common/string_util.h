@@ -1,0 +1,38 @@
+// printf-style string formatting and a fixed-width text table used by the
+// bench binaries to print the paper's figures as aligned ASCII tables.
+#ifndef BETALIKE_COMMON_STRING_UTIL_H_
+#define BETALIKE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace betalike {
+
+// Returns the printf-formatted string.
+std::string StrFormat(const char* format, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+// A right-padded ASCII table: construct with the header row, AddRow() for
+// each data row (cell counts must match), ToString() renders with every
+// column sized to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,26 @@
+// Wall-clock timer for the bench binaries' time_s columns.
+#ifndef BETALIKE_COMMON_TIMER_H_
+#define BETALIKE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace betalike {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_TIMER_H_

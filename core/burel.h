@@ -1,0 +1,63 @@
+// BUREL — the paper's BUcketization-REdistribution aLgorithm for
+// publishing microdata under β-likeness (Cao & Karras, PVLDB 2012).
+//
+// A published table satisfies enhanced β-likeness iff in every
+// equivalence class, each SA value v with overall frequency p_v occurs
+// with frequency q_v <= p_v * (1 + min(beta, ln(1/p_v))); the basic
+// model uses q_v <= p_v * (1 + beta).
+//
+// This bootstrap slice implements:
+//   1. Bucketization: SA values sorted by descending frequency are
+//      greedily packed into the minimum number of buckets such that each
+//      bucket's total frequency fits the threshold of its least-frequent
+//      member — the feasibility precondition for redistribution (the
+//      paper's DP objective; greedy is optimal for this hereditary
+//      contiguous-partition constraint).
+//   2. Redistribution: tuples ordered along a Hilbert curve over the QI
+//      space are packed into equivalence classes, each class
+//      closed as soon as its per-value counts satisfy the β-likeness
+//      thresholds. Curve locality keeps the classes' QI bounding boxes
+//      tight, which is what gives BUREL its information-loss edge over
+//      space-partitioning schemes.
+// The paper's ECTree formation and Hilbert-curve retrieval variants are
+// follow-up work (see the ablation bench, not yet built).
+#ifndef BETALIKE_CORE_BUREL_H_
+#define BETALIKE_CORE_BUREL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct BurelOptions {
+  // The β-likeness privacy budget: an adversary's posterior belief in
+  // any SA value may exceed its prior by at most a factor 1 + beta.
+  double beta = 1.0;
+  // Enhanced model caps the allowed gain at ln(1/p_v) for rare values.
+  bool enhanced = true;
+};
+
+// Per-SA-value equivalence-class frequency caps for the chosen model:
+// thresholds[v] = p_v * (1 + min(beta, ln(1/p_v))) (enhanced) or
+// p_v * (1 + beta) (basic). Exposed for Mondrian baselines and tests.
+std::vector<double> BetaLikenessThresholds(const std::vector<double>& freqs,
+                                           const BurelOptions& options);
+
+// SA-value buckets from step 1 of BUREL: each bucket is a set of value
+// codes with similar frequencies; total bucket frequency respects the
+// threshold of the rarest member. Exposed for tests and future
+// formation variants.
+Result<std::vector<std::vector<int32_t>>> BucketizeSaValues(
+    const std::vector<double>& freqs, const BurelOptions& options);
+
+// Anonymizes `table` so that the result satisfies β-likeness under
+// `options`. Fails on invalid options or an empty table.
+Result<GeneralizedTable> AnonymizeWithBurel(
+    std::shared_ptr<const Table> table, const BurelOptions& options);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_CORE_BUREL_H_

@@ -1,0 +1,127 @@
+// Column-typed microdata table with a quasi-identifier (QI) / sensitive-
+// attribute (SA) schema, plus the generalized (anonymized) form that the
+// BUREL and Mondrian schemes publish.
+//
+// Simplification for this reproduction: every attribute is an ordered
+// integer domain [lo, hi]. Categorical attributes (Gender, Education, …)
+// are dense codes; information loss treats them like numeric ranges,
+// which matches the paper's normalized-extent AIL on CENSUS.
+#ifndef BETALIKE_DATA_TABLE_H_
+#define BETALIKE_DATA_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace betalike {
+
+// Schema of one QI column: an ordered integer domain [lo, hi].
+struct QiSpec {
+  std::string name;
+  int32_t lo = 0;
+  int32_t hi = 0;
+
+  int64_t extent() const { return static_cast<int64_t>(hi) - lo; }
+};
+
+// Schema of the sensitive attribute: dense codes 0..num_values-1.
+struct SaSpec {
+  std::string name;
+  int32_t num_values = 0;
+};
+
+class Table {
+ public:
+  // Builds a table from column-major data. Every QI column must have the
+  // same length as `sa`, and all values must lie in their declared
+  // domains (checked).
+  static Result<Table> Create(std::vector<QiSpec> qi_schema,
+                              SaSpec sa_schema,
+                              std::vector<std::vector<int32_t>> qi_columns,
+                              std::vector<int32_t> sa_column);
+
+  int64_t num_rows() const { return static_cast<int64_t>(sa_.size()); }
+  int num_qi() const { return static_cast<int>(qi_schema_.size()); }
+
+  const QiSpec& qi_spec(int dim) const { return qi_schema_[dim]; }
+  const SaSpec& sa_spec() const { return sa_schema_; }
+
+  int32_t qi_value(int64_t row, int dim) const { return qi_cols_[dim][row]; }
+  int32_t sa_value(int64_t row) const { return sa_[row]; }
+
+  const std::vector<int32_t>& qi_column(int dim) const {
+    return qi_cols_[dim];
+  }
+  const std::vector<int32_t>& sa_column() const { return sa_; }
+
+  // Returns a copy keeping only the first `qi_prefix` QI attributes
+  // (1 <= qi_prefix <= num_qi()); the SA column is always kept. The
+  // benches use this to vary QI dimensionality (Figure 6).
+  Result<Table> WithQiPrefix(int qi_prefix) const;
+
+  // Uniform sample of `n` distinct rows (n <= num_rows()), in the order
+  // drawn. Deterministic given the Rng state.
+  Table SampleRows(int64_t n, Rng* rng) const;
+
+  // Overall SA distribution p_v: frequency of each SA value in the table,
+  // indexed by value code; sums to 1 for a non-empty table.
+  std::vector<double> SaFrequencies() const;
+
+ private:
+  Table() = default;
+
+  std::vector<QiSpec> qi_schema_;
+  SaSpec sa_schema_;
+  std::vector<std::vector<int32_t>> qi_cols_;
+  std::vector<int32_t> sa_;
+};
+
+// Normalized information loss of publishing the QI bounding box
+// [qi_min, qi_max] in place of exact values: the mean over QI
+// attributes of (box extent / domain extent); single-point domains
+// contribute 0. This single definition is both the AIL integrand
+// (metrics/info_loss) and the objective BUREL's cut search minimizes.
+double NormalizedBoxLoss(const Table& table,
+                         const std::vector<int32_t>& qi_min,
+                         const std::vector<int32_t>& qi_max);
+
+// One equivalence class of a published table: the member rows of the
+// source table plus the generalized per-QI ranges (the EC's bounding
+// box) that replace their QI values.
+struct EquivalenceClass {
+  std::vector<int64_t> rows;
+  std::vector<int32_t> qi_min;
+  std::vector<int32_t> qi_max;
+
+  int64_t size() const { return static_cast<int64_t>(rows.size()); }
+};
+
+// The anonymized publication: a partition of the source rows into
+// equivalence classes. Construction validates that the classes cover
+// every source row exactly once and computes the bounding boxes.
+class GeneralizedTable {
+ public:
+  static Result<GeneralizedTable> Create(
+      std::shared_ptr<const Table> source,
+      std::vector<std::vector<int64_t>> ec_rows);
+
+  const Table& source() const { return *source_; }
+  int64_t num_rows() const { return source_->num_rows(); }
+  size_t num_ecs() const { return ecs_.size(); }
+  const EquivalenceClass& ec(size_t i) const { return ecs_[i]; }
+  const std::vector<EquivalenceClass>& ecs() const { return ecs_; }
+
+ private:
+  GeneralizedTable() = default;
+
+  std::shared_ptr<const Table> source_;
+  std::vector<EquivalenceClass> ecs_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_DATA_TABLE_H_

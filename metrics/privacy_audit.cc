@@ -1,0 +1,49 @@
+#include "metrics/privacy_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace betalike {
+namespace {
+
+std::vector<int64_t> EcCounts(const GeneralizedTable& published,
+                              const EquivalenceClass& ec) {
+  std::vector<int64_t> counts(published.source().sa_spec().num_values, 0);
+  for (int64_t row : ec.rows) ++counts[published.source().sa_value(row)];
+  return counts;
+}
+
+}  // namespace
+
+double MeasuredBeta(const GeneralizedTable& published) {
+  const std::vector<double> freqs = published.source().SaFrequencies();
+  double worst = 0.0;
+  for (const EquivalenceClass& ec : published.ecs()) {
+    const std::vector<int64_t> counts = EcCounts(published, ec);
+    const double n = static_cast<double>(ec.size());
+    for (size_t v = 0; v < counts.size(); ++v) {
+      if (counts[v] == 0 || freqs[v] <= 0.0) continue;
+      const double q = static_cast<double>(counts[v]) / n;
+      worst = std::max(worst, (q - freqs[v]) / freqs[v]);
+    }
+  }
+  return worst;
+}
+
+double MeasuredCloseness(const GeneralizedTable& published) {
+  const std::vector<double> freqs = published.source().SaFrequencies();
+  double worst = 0.0;
+  for (const EquivalenceClass& ec : published.ecs()) {
+    const std::vector<int64_t> counts = EcCounts(published, ec);
+    const double n = static_cast<double>(ec.size());
+    double distance = 0.0;
+    for (size_t v = 0; v < counts.size(); ++v) {
+      distance += std::fabs(static_cast<double>(counts[v]) / n - freqs[v]);
+    }
+    worst = std::max(worst, 0.5 * distance);
+  }
+  return worst;
+}
+
+}  // namespace betalike

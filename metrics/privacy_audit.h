@@ -1,0 +1,23 @@
+// Achieved-privacy measurements of a published table (§6.1's "real β"
+// and the t used by the Figure 4 equalizations).
+#ifndef BETALIKE_METRICS_PRIVACY_AUDIT_H_
+#define BETALIKE_METRICS_PRIVACY_AUDIT_H_
+
+#include "data/table.h"
+
+namespace betalike {
+
+// The real β of a publication: the worst relative confidence gain
+// max(0, (q_v - p_v) / p_v) over all equivalence classes and SA values,
+// where p is the overall and q the in-class SA frequency. A table
+// satisfies basic β-likeness iff MeasuredBeta(published) <= β.
+double MeasuredBeta(const GeneralizedTable& published);
+
+// The t-closeness the publication achieves: the worst over equivalence
+// classes of the variational distance 0.5 * Σ_v |q_v - p_v| (EMD under
+// the uniform ground metric, as used for the categorical SA).
+double MeasuredCloseness(const GeneralizedTable& published);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_METRICS_PRIVACY_AUDIT_H_

@@ -1,0 +1,71 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ReproScale, DefaultsToOneWhenUnset) {
+  ScopedEnv env("REPRO_SCALE", nullptr);
+  EXPECT_EQ(bench::ReproScale(), 1);
+}
+
+TEST(ReproScale, ParsesValidIntegers) {
+  {
+    ScopedEnv env("REPRO_SCALE", "5");
+    EXPECT_EQ(bench::ReproScale(), 5);
+  }
+  {
+    ScopedEnv env("REPRO_SCALE", "1000");
+    EXPECT_EQ(bench::ReproScale(), 1000);
+  }
+}
+
+TEST(ReproScale, RejectsNonNumericValues) {
+  for (const char* bad : {"", "abc", "5x", "x5", "1.5", " 5 ", "--2"}) {
+    ScopedEnv env("REPRO_SCALE", bad);
+    EXPECT_EQ(bench::ReproScale(), 1);
+  }
+}
+
+TEST(ReproScale, RejectsOutOfRangeValues) {
+  for (const char* bad : {"0", "-3", "1001", "99999999999999999999"}) {
+    ScopedEnv env("REPRO_SCALE", bad);
+    EXPECT_EQ(bench::ReproScale(), 1);
+  }
+}
+
+TEST(BenchUtil, DefaultSizesScale) {
+  ScopedEnv env("REPRO_SCALE", "2");
+  EXPECT_EQ(bench::DefaultRows(), 200000LL);
+  EXPECT_EQ(bench::DefaultQueries(), 4000);
+}
+
+TEST(BenchUtil, MakeCensusAppliesQiPrefix) {
+  ScopedEnv env("REPRO_SCALE", nullptr);
+  auto table = bench::MakeCensus(500, /*qi_prefix=*/2);
+  EXPECT_EQ(table->num_rows(), 500);
+  EXPECT_EQ(table->num_qi(), 2);
+  auto full = bench::MakeCensus(500, /*qi_prefix=*/kCensusNumQi);
+  EXPECT_EQ(full->num_qi(), kCensusNumQi);
+}
+
+}  // namespace
+}  // namespace betalike

@@ -1,0 +1,147 @@
+// Minimal single-binary test framework registered with ctest (stands in
+// for GoogleTest, which the build does not vendor). Usage:
+//
+//   TEST(Suite, Name) { EXPECT_EQ(1 + 1, 2); }
+//
+// Each test binary links tests/test_main.cc, runs every registered
+// test, and exits non-zero if any EXPECT/ASSERT failed. ASSERT_*
+// returns from the current test on failure; EXPECT_* records the
+// failure and continues.
+#ifndef BETALIKE_TESTS_BETALIKE_TEST_H_
+#define BETALIKE_TESTS_BETALIKE_TEST_H_
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace betalike {
+namespace testing {
+
+struct TestCase {
+  const char* suite;
+  const char* name;
+  void (*fn)();
+};
+
+std::vector<TestCase>& Registry();
+void RecordFailure();
+int RunAllTests();
+
+struct Registrar {
+  Registrar(const char* suite, const char* name, void (*fn)()) {
+    Registry().push_back({suite, name, fn});
+  }
+};
+
+template <typename T>
+std::string Repr(const T& value) {
+  std::ostringstream out;
+  if constexpr (std::is_enum_v<T>) {
+    out << static_cast<std::underlying_type_t<T>>(value);
+  } else {
+    out << value;
+  }
+  return out.str();
+}
+
+inline void Fail(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "  FAILED %s:%d: %s\n", file, line, what.c_str());
+  RecordFailure();
+}
+
+// EXPECT_OK/ASSERT_OK support both Status and Result<T>.
+inline Status GetStatus(const Status& status) { return status; }
+template <typename T>
+Status GetStatus(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace testing
+}  // namespace betalike
+
+#define TEST(suite, name)                                       \
+  static void BetalikeTest_##suite##_##name();                  \
+  static ::betalike::testing::Registrar                         \
+      betalike_registrar_##suite##_##name(                      \
+          #suite, #name, &BetalikeTest_##suite##_##name);       \
+  static void BetalikeTest_##suite##_##name()
+
+#define BETALIKE_TEST_CMP_(a, op, b, on_fail)                            \
+  do {                                                                   \
+    auto&& betalike_va = (a);                                            \
+    auto&& betalike_vb = (b);                                            \
+    if (!(betalike_va op betalike_vb)) {                                 \
+      ::betalike::testing::Fail(                                         \
+          __FILE__, __LINE__,                                            \
+          std::string(#a " " #op " " #b " (lhs=") +                      \
+              ::betalike::testing::Repr(betalike_va) + ", rhs=" +        \
+              ::betalike::testing::Repr(betalike_vb) + ")");             \
+      on_fail;                                                           \
+    }                                                                    \
+  } while (0)
+
+#define EXPECT_EQ(a, b) BETALIKE_TEST_CMP_(a, ==, b, )
+#define EXPECT_NE(a, b) BETALIKE_TEST_CMP_(a, !=, b, )
+#define EXPECT_LT(a, b) BETALIKE_TEST_CMP_(a, <, b, )
+#define EXPECT_LE(a, b) BETALIKE_TEST_CMP_(a, <=, b, )
+#define EXPECT_GT(a, b) BETALIKE_TEST_CMP_(a, >, b, )
+#define EXPECT_GE(a, b) BETALIKE_TEST_CMP_(a, >=, b, )
+#define ASSERT_EQ(a, b) BETALIKE_TEST_CMP_(a, ==, b, return)
+
+#define BETALIKE_TEST_BOOL_(x, expected, on_fail)                        \
+  do {                                                                   \
+    if (static_cast<bool>(x) != (expected)) {                            \
+      ::betalike::testing::Fail(__FILE__, __LINE__,                      \
+                                #x " expected to be " #expected);        \
+      on_fail;                                                           \
+    }                                                                    \
+  } while (0)
+
+#define EXPECT_TRUE(x) BETALIKE_TEST_BOOL_(x, true, )
+#define EXPECT_FALSE(x) BETALIKE_TEST_BOOL_(x, false, )
+#define ASSERT_TRUE(x) BETALIKE_TEST_BOOL_(x, true, return)
+#define ASSERT_FALSE(x) BETALIKE_TEST_BOOL_(x, false, return)
+
+#define EXPECT_NEAR(a, b, tolerance)                                     \
+  do {                                                                   \
+    const double betalike_na = static_cast<double>(a);                   \
+    const double betalike_nb = static_cast<double>(b);                   \
+    if (!(std::fabs(betalike_na - betalike_nb) <= (tolerance))) {        \
+      ::betalike::testing::Fail(                                         \
+          __FILE__, __LINE__,                                            \
+          std::string("|" #a " - " #b "| <= " #tolerance " (lhs=") +     \
+              ::betalike::testing::Repr(betalike_na) + ", rhs=" +        \
+              ::betalike::testing::Repr(betalike_nb) + ")");             \
+    }                                                                    \
+  } while (0)
+
+// For Status / Result<T>: passes iff .ok().
+#define EXPECT_OK(expr)                                                  \
+  do {                                                                   \
+    const auto& betalike_st = (expr);                                    \
+    if (!betalike_st.ok()) {                                             \
+      ::betalike::testing::Fail(                                         \
+          __FILE__, __LINE__,                                            \
+          std::string(#expr " not OK: ") +                               \
+              ::betalike::testing::GetStatus(betalike_st).ToString());   \
+    }                                                                    \
+  } while (0)
+
+#define ASSERT_OK(expr)                                                  \
+  do {                                                                   \
+    const auto& betalike_st = (expr);                                    \
+    if (!betalike_st.ok()) {                                             \
+      ::betalike::testing::Fail(                                         \
+          __FILE__, __LINE__,                                            \
+          std::string(#expr " not OK: ") +                               \
+              ::betalike::testing::GetStatus(betalike_st).ToString());   \
+      return;                                                            \
+    }                                                                    \
+  } while (0)
+
+#endif  // BETALIKE_TESTS_BETALIKE_TEST_H_

@@ -1,0 +1,97 @@
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+  EXPECT_EQ(StrFormat("%s", std::string(100, 'a').c_str()),
+            std::string(100, 'a'));
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "v"});
+  table.AddRow({"x", "1.5"});
+  table.AddRow({"longer", "2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_cols(), 2u);
+  EXPECT_EQ(table.ToString(),
+            "name    v\n"
+            "-----------\n"
+            "x       1.5\n"
+            "longer  2\n");
+}
+
+TEST(Status, ToStringAndCodes) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_OK(Status::Ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status bad = Status::InvalidArgument("beta < 0");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: beta < 0");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok_result(41);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 41);
+  EXPECT_OK(ok_result);
+
+  Result<int> err_result(Status::NotFound("no table"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+
+  Result<std::string> moved(std::string("payload"));
+  const std::string out = std::move(moved).value();
+  EXPECT_EQ(out, "payload");
+
+  Result<std::string> copied = moved;
+  copied = Result<std::string>(Status::Internal("replaced"));
+  EXPECT_FALSE(copied.ok());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+  Rng c(124);
+  Rng d(123);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (c.NextUint64() != d.NextUint64());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+    const int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(rng.Below(1), 0u);
+  EXPECT_EQ(rng.Uniform(5, 5), 5);
+}
+
+TEST(WallTimer, MeasuresNonNegativeElapsed) {
+  WallTimer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  timer.Restart();
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace betalike

@@ -1,0 +1,93 @@
+#include <memory>
+
+#include "data/table.h"
+#include "metrics/info_loss.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+// Hand-computed fixture: 4 tuples, one QI in [0, 10], binary SA with
+// p = (0.5, 0.5).
+std::shared_ptr<const Table> Fixture() {
+  auto table = Table::Create({{"A", 0, 10}}, {"SA", 2},
+                             {{0, 2, 8, 10}}, {0, 0, 1, 1});
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::make_shared<Table>(std::move(table).value());
+}
+
+TEST(AverageInfoLoss, MatchesHandComputation) {
+  // ECs {0,1} and {2,3}: each box spans 2 of the 10-wide domain.
+  auto split = GeneralizedTable::Create(Fixture(), {{0, 1}, {2, 3}});
+  ASSERT_OK(split);
+  EXPECT_NEAR(AverageInfoLoss(*split), 0.2, 1e-12);
+
+  // A single EC spans the whole domain: total loss.
+  auto whole = GeneralizedTable::Create(Fixture(), {{0, 1, 2, 3}});
+  ASSERT_OK(whole);
+  EXPECT_NEAR(AverageInfoLoss(*whole), 1.0, 1e-12);
+
+  // Exact publication (singleton ECs): zero loss.
+  auto exact =
+      GeneralizedTable::Create(Fixture(), {{0}, {1}, {2}, {3}});
+  ASSERT_OK(exact);
+  EXPECT_NEAR(AverageInfoLoss(*exact), 0.0, 1e-12);
+
+  // Unequal classes weight by tuple count: {0,1,2} spans 8/10,
+  // {3} spans 0 => (3 * 0.8 + 1 * 0) / 4 = 0.6.
+  auto skewed = GeneralizedTable::Create(Fixture(), {{0, 1, 2}, {3}});
+  ASSERT_OK(skewed);
+  EXPECT_NEAR(AverageInfoLoss(*skewed), 0.6, 1e-12);
+}
+
+TEST(EcInfoLoss, IgnoresDegenerateDomains) {
+  // Second QI has a single-point domain; it must contribute 0, so the
+  // loss is the mean of 0.2 and 0 over two dimensions.
+  auto table = Table::Create({{"A", 0, 10}, {"C", 3, 3}}, {"SA", 2},
+                             {{0, 2, 8, 10}, {3, 3, 3, 3}},
+                             {0, 0, 1, 1});
+  ASSERT_OK(table);
+  auto published = GeneralizedTable::Create(
+      std::make_shared<Table>(std::move(table).value()),
+      {{0, 1}, {2, 3}});
+  ASSERT_OK(published);
+  EXPECT_NEAR(AverageInfoLoss(*published), 0.1, 1e-12);
+}
+
+TEST(MeasuredBeta, MatchesHandComputation) {
+  // Pure classes: q = 1 vs p = 0.5 => (1 - 0.5) / 0.5 = 1.
+  auto split = GeneralizedTable::Create(Fixture(), {{0, 1}, {2, 3}});
+  ASSERT_OK(split);
+  EXPECT_NEAR(MeasuredBeta(*split), 1.0, 1e-12);
+
+  // The full table has q == p: real beta 0.
+  auto whole = GeneralizedTable::Create(Fixture(), {{0, 1, 2, 3}});
+  ASSERT_OK(whole);
+  EXPECT_NEAR(MeasuredBeta(*whole), 0.0, 1e-12);
+
+  // Mixed 3:1 class: worst value has q = 2/3 vs p = 0.5 => 1/3.
+  auto mixed = GeneralizedTable::Create(Fixture(), {{0, 1, 2}, {3}});
+  ASSERT_OK(mixed);
+  EXPECT_NEAR(MeasuredBeta(*mixed), 1.0, 1e-12);  // singleton {3}: q=1
+}
+
+TEST(MeasuredCloseness, MatchesHandComputation) {
+  // Pure classes: 0.5 * (|1 - 0.5| + |0 - 0.5|) = 0.5.
+  auto split = GeneralizedTable::Create(Fixture(), {{0, 1}, {2, 3}});
+  ASSERT_OK(split);
+  EXPECT_NEAR(MeasuredCloseness(*split), 0.5, 1e-12);
+
+  auto whole = GeneralizedTable::Create(Fixture(), {{0, 1, 2, 3}});
+  ASSERT_OK(whole);
+  EXPECT_NEAR(MeasuredCloseness(*whole), 0.0, 1e-12);
+
+  // {0,1,2} has q = (2/3, 1/3): distance 0.5 * (1/6 + 1/6) = 1/6;
+  // singleton {3} has distance 0.5 * (0.5 + 0.5) = 0.5 => worst 0.5.
+  auto mixed = GeneralizedTable::Create(Fixture(), {{0, 1, 2}, {3}});
+  ASSERT_OK(mixed);
+  EXPECT_NEAR(MeasuredCloseness(*mixed), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace betalike

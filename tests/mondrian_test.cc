@@ -1,0 +1,86 @@
+#include "baseline/mondrian.h"
+
+#include <memory>
+
+#include "census/census.h"
+#include "metrics/info_loss.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+std::shared_ptr<const Table> CensusTable(int64_t rows, int qi) {
+  CensusOptions options;
+  options.num_rows = rows;
+  auto full = GenerateCensus(options);
+  BETALIKE_CHECK(full.ok()) << full.status().ToString();
+  auto prefixed = full->WithQiPrefix(qi);
+  BETALIKE_CHECK(prefixed.ok()) << prefixed.status().ToString();
+  return std::make_shared<Table>(std::move(prefixed).value());
+}
+
+TEST(Mondrian, BetaLikenessPredicateHolds) {
+  auto table = CensusTable(5000, 3);
+  for (double beta : {1.0, 4.0}) {
+    auto published = Mondrian::ForBetaLikeness(beta).Anonymize(table);
+    ASSERT_OK(published);
+    EXPECT_LE(MeasuredBeta(*published), beta + 1e-9);
+    EXPECT_GT(published->num_ecs(), 1u);
+  }
+}
+
+TEST(Mondrian, DeltaDisclosureImpliesBasicBetaLikeness) {
+  auto table = CensusTable(5000, 3);
+  const double beta = 4.0;
+  auto published = Mondrian::ForDeltaFromBeta(beta).Anonymize(table);
+  ASSERT_OK(published);
+  // δ = ln(1+β) bounds q/p < 1+β, i.e. basic β-likeness.
+  EXPECT_LE(MeasuredBeta(*published), beta + 1e-9);
+}
+
+TEST(Mondrian, TClosenessPredicateHolds) {
+  auto table = CensusTable(5000, 3);
+  for (double t : {0.2, 0.4}) {
+    auto published = Mondrian::ForTCloseness(t).Anonymize(table);
+    ASSERT_OK(published);
+    EXPECT_LE(MeasuredCloseness(*published), t + 1e-9);
+  }
+}
+
+TEST(Mondrian, LooserBudgetLosesLessInformation) {
+  auto table = CensusTable(5000, 3);
+  auto tight = Mondrian::ForBetaLikeness(1.0).Anonymize(table);
+  auto loose = Mondrian::ForBetaLikeness(5.0).Anonymize(table);
+  ASSERT_OK(tight);
+  ASSERT_OK(loose);
+  EXPECT_LE(AverageInfoLoss(*loose), AverageInfoLoss(*tight));
+}
+
+TEST(Mondrian, SplitsStopAtIndivisibleNodes) {
+  // Two rows with identical QI values can never be separated.
+  auto table = Table::Create({{"A", 0, 10}}, {"SA", 2},
+                             {{5, 5, 5, 5}}, {0, 1, 0, 1});
+  ASSERT_OK(table);
+  auto published = Mondrian::ForBetaLikeness(10.0).Anonymize(
+      std::make_shared<Table>(std::move(table).value()));
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 1u);
+}
+
+TEST(Mondrian, RejectsInvalidArguments) {
+  auto table = CensusTable(100, 2);
+  EXPECT_FALSE(Mondrian::ForBetaLikeness(0.0).Anonymize(table).ok());
+  EXPECT_FALSE(Mondrian::ForDeltaFromBeta(-2.0).Anonymize(table).ok());
+  EXPECT_FALSE(Mondrian::ForTCloseness(-0.1).Anonymize(table).ok());
+  EXPECT_FALSE(Mondrian::ForBetaLikeness(1.0).Anonymize(nullptr).ok());
+  auto empty = Table::Create({{"A", 0, 1}}, {"SA", 2}, {{}}, {});
+  ASSERT_OK(empty);
+  EXPECT_FALSE(
+      Mondrian::ForBetaLikeness(1.0)
+          .Anonymize(std::make_shared<Table>(std::move(empty).value()))
+          .ok());
+}
+
+}  // namespace
+}  // namespace betalike

@@ -1,0 +1,136 @@
+#include "data/table.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+Table SmallTable() {
+  auto table = Table::Create(
+      {{"A", 0, 10}, {"B", -5, 5}}, {"SA", 3},
+      {{0, 2, 8, 10}, {-5, 0, 0, 5}}, {0, 1, 1, 2});
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(TableCreate, ValidatesShapesAndDomains) {
+  // Mismatched column count vs schema.
+  EXPECT_FALSE(Table::Create({{"A", 0, 1}}, {"SA", 2}, {}, {0}).ok());
+  // Mismatched row counts.
+  EXPECT_FALSE(
+      Table::Create({{"A", 0, 1}}, {"SA", 2}, {{0, 1}}, {0}).ok());
+  // QI value outside its domain.
+  EXPECT_FALSE(
+      Table::Create({{"A", 0, 1}}, {"SA", 2}, {{2}}, {0}).ok());
+  // SA value outside its domain.
+  EXPECT_FALSE(
+      Table::Create({{"A", 0, 1}}, {"SA", 2}, {{1}}, {2}).ok());
+  // Empty QI domain.
+  EXPECT_FALSE(Table::Create({{"A", 3, 2}}, {"SA", 2}, {{}}, {}).ok());
+  // Empty SA domain.
+  EXPECT_FALSE(Table::Create({{"A", 0, 1}}, {"SA", 0}, {{0}}, {0}).ok());
+  // Zero-row table is valid.
+  EXPECT_OK(Table::Create({{"A", 0, 1}}, {"SA", 2}, {{}}, {}));
+}
+
+TEST(WithQiPrefix, KeepsPrefixAndSa) {
+  const Table table = SmallTable();
+  auto one = table.WithQiPrefix(1);
+  ASSERT_OK(one);
+  EXPECT_EQ(one->num_qi(), 1);
+  EXPECT_EQ(one->num_rows(), 4);
+  EXPECT_EQ(one->qi_spec(0).name, "A");
+  EXPECT_EQ(one->qi_value(3, 0), 10);
+  EXPECT_EQ(one->sa_value(3), 2);
+}
+
+TEST(WithQiPrefix, FullPrefixIsIdentity) {
+  const Table table = SmallTable();
+  auto same = table.WithQiPrefix(table.num_qi());
+  ASSERT_OK(same);
+  EXPECT_EQ(same->num_qi(), table.num_qi());
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    for (int d = 0; d < table.num_qi(); ++d) {
+      EXPECT_EQ(same->qi_value(row, d), table.qi_value(row, d));
+    }
+  }
+}
+
+TEST(WithQiPrefix, RejectsOutOfRangePrefixes) {
+  const Table table = SmallTable();
+  EXPECT_FALSE(table.WithQiPrefix(0).ok());
+  EXPECT_FALSE(table.WithQiPrefix(-1).ok());
+  EXPECT_FALSE(table.WithQiPrefix(table.num_qi() + 1).ok());
+}
+
+TEST(SampleRows, DrawsDistinctRowsDeterministically) {
+  const Table table = SmallTable();
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const Table sample_a = table.SampleRows(3, &rng_a);
+  const Table sample_b = table.SampleRows(3, &rng_b);
+  EXPECT_EQ(sample_a.num_rows(), 3);
+  for (int64_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(sample_a.qi_value(row, 0), sample_b.qi_value(row, 0));
+    EXPECT_EQ(sample_a.sa_value(row), sample_b.sa_value(row));
+  }
+  // Full-size sample is a permutation: every (A, SA) pair appears once.
+  Rng rng_c(9);
+  const Table all = table.SampleRows(table.num_rows(), &rng_c);
+  std::set<std::pair<int32_t, int32_t>> seen;
+  for (int64_t row = 0; row < all.num_rows(); ++row) {
+    seen.insert({all.qi_value(row, 0), all.sa_value(row)});
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  // Zero-size sample keeps the schema.
+  Rng rng_d(1);
+  EXPECT_EQ(table.SampleRows(0, &rng_d).num_rows(), 0);
+}
+
+TEST(SaFrequencies, MatchesCounts) {
+  const Table table = SmallTable();
+  const std::vector<double> freqs = table.SaFrequencies();
+  ASSERT_EQ(freqs.size(), 3u);
+  EXPECT_NEAR(freqs[0], 0.25, 1e-12);
+  EXPECT_NEAR(freqs[1], 0.50, 1e-12);
+  EXPECT_NEAR(freqs[2], 0.25, 1e-12);
+}
+
+TEST(GeneralizedTable, ComputesBoundingBoxes) {
+  auto source = std::make_shared<Table>(SmallTable());
+  auto published =
+      GeneralizedTable::Create(source, {{0, 1}, {2, 3}});
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 2u);
+  EXPECT_EQ(published->num_rows(), 4);
+  const EquivalenceClass& first = published->ec(0);
+  EXPECT_EQ(first.qi_min[0], 0);
+  EXPECT_EQ(first.qi_max[0], 2);
+  EXPECT_EQ(first.qi_min[1], -5);
+  EXPECT_EQ(first.qi_max[1], 0);
+  const EquivalenceClass& second = published->ec(1);
+  EXPECT_EQ(second.qi_min[0], 8);
+  EXPECT_EQ(second.qi_max[0], 10);
+}
+
+TEST(GeneralizedTable, ValidatesPartition) {
+  auto source = std::make_shared<Table>(SmallTable());
+  // Row in two classes.
+  EXPECT_FALSE(GeneralizedTable::Create(source, {{0, 1}, {1, 2, 3}}).ok());
+  // Missing row.
+  EXPECT_FALSE(GeneralizedTable::Create(source, {{0, 1}, {2}}).ok());
+  // Row index out of range.
+  EXPECT_FALSE(
+      GeneralizedTable::Create(source, {{0, 1}, {2, 4}}).ok());
+  // Empty class.
+  EXPECT_FALSE(
+      GeneralizedTable::Create(source, {{0, 1, 2, 3}, {}}).ok());
+  // Null source.
+  EXPECT_FALSE(GeneralizedTable::Create(nullptr, {{0}}).ok());
+}
+
+}  // namespace
+}  // namespace betalike

@@ -1,0 +1,41 @@
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace testing {
+namespace {
+
+int failures_in_current_test = 0;
+
+}  // namespace
+
+std::vector<TestCase>& Registry() {
+  static std::vector<TestCase>* registry = new std::vector<TestCase>();
+  return *registry;
+}
+
+void RecordFailure() { ++failures_in_current_test; }
+
+int RunAllTests() {
+  int failed_tests = 0;
+  for (const TestCase& test : Registry()) {
+    failures_in_current_test = 0;
+    std::printf("[ RUN  ] %s.%s\n", test.suite, test.name);
+    test.fn();
+    if (failures_in_current_test == 0) {
+      std::printf("[  OK  ] %s.%s\n", test.suite, test.name);
+    } else {
+      std::printf("[ FAIL ] %s.%s (%d failure%s)\n", test.suite,
+                  test.name, failures_in_current_test,
+                  failures_in_current_test == 1 ? "" : "s");
+      ++failed_tests;
+    }
+  }
+  std::printf("%zu test(s) ran, %d failed\n", Registry().size(),
+              failed_tests);
+  return failed_tests == 0 ? 0 : 1;
+}
+
+}  // namespace testing
+}  // namespace betalike
+
+int main() { return betalike::testing::RunAllTests(); }
