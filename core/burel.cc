@@ -3,196 +3,92 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <utility>
 
 #include "common/logging.h"
-#include "common/string_util.h"
+#include "common/timer.h"
+#include "hilbert/hilbert.h"
 
 namespace betalike {
-namespace {
-
-// Hilbert-curve key of one row's QI values: each dimension is scaled to
-// `bits` levels and mapped through Skilling's axes-to-transpose
-// transform, so integer comparison of keys walks the Hilbert curve —
-// consecutive keys are adjacent in QI space, which keeps the bounding
-// boxes of consecutive-run equivalence classes tight.
-class HilbertEncoder {
- public:
-  explicit HilbertEncoder(const Table& table) : table_(table) {
-    const int dims = std::max(1, table.num_qi());
-    // At least 1 bit per dimension: beyond 60 QI dimensions the key
-    // overflows 64 bits and trailing dimensions stop contributing, but
-    // the ordering (and the algorithm) stays well defined.
-    bits_ = std::max(1, std::min(16, 60 / dims));
-    axes_.resize(table.num_qi());
-  }
-
-  // Not thread-safe: reuses a per-encoder coordinate buffer.
-  uint64_t Key(int64_t row) {
-    const int dims = table_.num_qi();
-    if (dims == 0) return 0;  // no QI: every ordering is equivalent
-    std::vector<uint32_t>& axes = axes_;
-    for (int d = 0; d < dims; ++d) {
-      const QiSpec& spec = table_.qi_spec(d);
-      const int64_t extent = spec.extent();
-      if (extent > 0) {
-        // Align the dimension's natural grid to the top bits: adjacent
-        // codes of a low-cardinality attribute then differ only in the
-        // curve's coarse levels, instead of smearing noise across the
-        // fine levels the way full-range rescaling would.
-        const int64_t offset = table_.qi_value(row, d) - spec.lo;
-        int need = 1;
-        while ((1LL << need) <= extent) ++need;
-        axes[d] = need <= bits_
-                      ? static_cast<uint32_t>(offset << (bits_ - need))
-                      : static_cast<uint32_t>(offset >> (need - bits_));
-      } else {
-        axes[d] = 0;
-      }
-    }
-    AxesToTranspose(&axes);
-    // Assemble the index: one bit per dimension per level, most
-    // significant level first.
-    uint64_t key = 0;
-    for (int b = bits_ - 1; b >= 0; --b) {
-      for (int d = 0; d < dims; ++d) {
-        key = (key << 1) | ((axes[d] >> b) & 1u);
-      }
-    }
-    return key;
-  }
-
- private:
-  // Skilling's in-place transform (AIP Conf. Proc. 707, 2004): turns
-  // coordinates into the transposed Hilbert index.
-  void AxesToTranspose(std::vector<uint32_t>* axes) const {
-    std::vector<uint32_t>& x = *axes;
-    const int n = static_cast<int>(x.size());
-    const uint32_t top = 1u << (bits_ - 1);
-    // Inverse undo.
-    for (uint32_t q = top; q > 1; q >>= 1) {
-      const uint32_t p = q - 1;
-      for (int i = 0; i < n; ++i) {
-        if (x[i] & q) {
-          x[0] ^= p;
-        } else {
-          const uint32_t t = (x[0] ^ x[i]) & p;
-          x[0] ^= t;
-          x[i] ^= t;
-        }
-      }
-    }
-    // Gray encode.
-    for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
-    uint32_t t = 0;
-    for (uint32_t q = top; q > 1; q >>= 1) {
-      if (x[n - 1] & q) t ^= q - 1;
-    }
-    for (int i = 0; i < n; ++i) x[i] ^= t;
-  }
-
-  const Table& table_;
-  int bits_;
-  std::vector<uint32_t> axes_;
-};
-
-Status ValidateOptions(const BurelOptions& options) {
-  if (!(options.beta > 0.0) || !std::isfinite(options.beta)) {
-    return Status::InvalidArgument(
-        StrFormat("beta = %f must be a positive finite number",
-                  options.beta));
-  }
-  return Status::Ok();
-}
-
-}  // namespace
-
-std::vector<double> BetaLikenessThresholds(const std::vector<double>& freqs,
-                                           const BurelOptions& options) {
-  std::vector<double> thresholds(freqs.size(), 0.0);
-  for (size_t v = 0; v < freqs.size(); ++v) {
-    const double p = freqs[v];
-    if (p <= 0.0) continue;  // absent values may not appear at all
-    const double gain =
-        options.enhanced ? std::min(options.beta, std::log(1.0 / p))
-                         : options.beta;
-    thresholds[v] = std::min(1.0, p * (1.0 + gain));
-  }
-  return thresholds;
-}
-
-Result<std::vector<std::vector<int32_t>>> BucketizeSaValues(
-    const std::vector<double>& freqs, const BurelOptions& options) {
-  if (Status s = ValidateOptions(options); !s.ok()) return s;
-  for (double p : freqs) {
-    if (p < 0.0 || !std::isfinite(p)) {
-      return Status::InvalidArgument("negative or non-finite frequency");
-    }
-  }
-  const std::vector<double> thresholds =
-      BetaLikenessThresholds(freqs, options);
-
-  // Values in descending frequency; p == 0 values never occur and are
-  // left out of every bucket.
-  std::vector<int32_t> order;
-  for (size_t v = 0; v < freqs.size(); ++v) {
-    if (freqs[v] > 0.0) order.push_back(static_cast<int32_t>(v));
-  }
-  if (order.empty()) {
-    return Status::InvalidArgument("all frequencies are zero");
-  }
-  std::stable_sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
-    return freqs[a] > freqs[b];
-  });
-
-  // Greedy contiguous packing. A bucket holding values V is feasible iff
-  // sum(p_v) <= threshold(rarest member): then an EC drawing its share
-  // of tuples from the bucket cannot breach β-likeness even if they all
-  // carry the rarest value. Thresholds grow with p, so the rarest member
-  // is always the newest, and feasibility is hereditary — greedy
-  // extension yields the minimum number of buckets.
-  std::vector<std::vector<int32_t>> buckets;
-  double bucket_freq = 0.0;
-  for (int32_t v : order) {
-    if (!buckets.empty() && bucket_freq + freqs[v] <= thresholds[v]) {
-      buckets.back().push_back(v);
-      bucket_freq += freqs[v];
-    } else {
-      buckets.push_back({v});
-      bucket_freq = freqs[v];
-    }
-  }
-  return buckets;
-}
 
 Result<GeneralizedTable> AnonymizeWithBurel(
     std::shared_ptr<const Table> table, const BurelOptions& options) {
+  return AnonymizeWithBurel(std::move(table), options, nullptr);
+}
+
+Result<GeneralizedTable> AnonymizeWithBurel(
+    std::shared_ptr<const Table> table, const BurelOptions& options,
+    BurelProfile* profile) {
   if (table == nullptr) return Status::InvalidArgument("null table");
-  if (Status s = ValidateOptions(options); !s.ok()) return s;
+  if (Status s = ValidateBurelOptions(options); !s.ok()) return s;
   const int64_t n = table->num_rows();
   if (n == 0) return Status::InvalidArgument("empty table");
+  if (profile != nullptr) *profile = BurelProfile{};
+  const Table& t = *table;
 
-  const std::vector<double> freqs = table->SaFrequencies();
+  const std::vector<double> freqs = t.SaFrequencies();
   const std::vector<double> thresholds =
       BetaLikenessThresholds(freqs, options);
 
-  // Step 1: bucketization. The bucket structure proves redistribution is
-  // feasible (every value fits some bucket under its threshold) and is
-  // what the paper's ECTree formation draws from; the bootstrap scan
-  // below enforces the exact per-value caps instead, which is precisely
-  // the β-likeness condition on the concrete output. (Bucket-level caps
-  // must NOT be enforced on consecutive-run classes: greedy packing
-  // fills buckets to their threshold, leaving no slack for per-class
-  // fluctuation, and the scan would never close a class.)
+  // Step 1: bucketization (core/bucket_partition). The bucket structure
+  // proves redistribution is feasible (every value fits some bucket
+  // under its threshold) and is what the paper's ECTree formation draws
+  // from; the bisection below enforces the exact per-value caps
+  // instead, which is precisely the β-likeness condition on the
+  // concrete output. (Bucket-level caps must NOT be enforced on
+  // consecutive-run classes: greedy packing fills buckets to their
+  // threshold, leaving no slack for per-class fluctuation, and the scan
+  // would never close a class.)
+  WallTimer section;
   auto buckets = BucketizeSaValues(freqs, options);
+  if (profile != nullptr) {
+    profile->bucketize_seconds = section.ElapsedSeconds();
+  }
   if (!buckets.ok()) return buckets.status();
 
-  // Step 2: order tuples along the Hilbert curve for QI locality.
-  HilbertEncoder hilbert(*table);
-  std::vector<std::pair<uint64_t, int64_t>> order(n);
-  for (int64_t i = 0; i < n; ++i) order[i] = {hilbert.Key(i), i};
-  std::sort(order.begin(), order.end());
+  // Step 2: order tuples along the Hilbert curve for QI locality
+  // (hilbert/): bulk column-major key encoding, then a stable radix
+  // sort — equivalent to comparison-sorting (key, row) pairs.
+  section.Restart();
+  const std::vector<uint64_t> keys = ComputeHilbertKeys(t);
+  if (profile != nullptr) profile->encode_seconds = section.ElapsedSeconds();
+  section.Restart();
+  std::vector<int64_t> sequence = SortRowsByHilbertKey(keys);
+  if (profile != nullptr) profile->sort_seconds = section.ElapsedSeconds();
+
+  // SoA mirror of the curve-ordered segment: qi_pos[d][i] / sa_pos[i]
+  // hold row sequence[i]'s values, so every sweep below streams
+  // contiguous memory instead of gathering rows through `sequence`.
+  // Axis cuts permute `sequence` and the mirror together, keeping the
+  // invariant for the whole recursion.
+  section.Restart();
+  const int dims = t.num_qi();
+  std::vector<std::vector<int32_t>> qi_pos(dims);
+  std::vector<const int32_t*> qcol(dims);
+  for (int d = 0; d < dims; ++d) {
+    const std::vector<int32_t>& column = t.qi_column(d);
+    qi_pos[d].resize(n);
+    for (int64_t i = 0; i < n; ++i) qi_pos[d][i] = column[sequence[i]];
+    qcol[d] = qi_pos[d].data();
+  }
+  std::vector<int32_t> sa_pos(n);
+  for (int64_t i = 0; i < n; ++i) sa_pos[i] = t.sa_column()[sequence[i]];
+  if (profile != nullptr) profile->gather_seconds = section.ElapsedSeconds();
+
+  // Infeasibility floor: any nonempty class holds some value v, so its
+  // size must reach count_v / threshold_v >= 1 / max threshold (and the
+  // sweeps' floor of 1.0). A segment shorter than two floors cannot be
+  // cut feasibly — curve or axis — so both sweeps and the axis scans
+  // are skipped and the segment is emitted as a leaf directly.
+  double max_threshold = 0.0;
+  for (size_t v = 0; v < freqs.size(); ++v) {
+    if (freqs[v] > 0.0) {
+      max_threshold = std::max(max_threshold, thresholds[v]);
+    }
+  }
+  const double min_cut_len = 2.0 * std::max(1.0, 1.0 / max_threshold);
 
   // Step 3: hybrid bisection. Recursively split the Hilbert-ordered
   // sequence, considering two kinds of cut at every node:
@@ -205,23 +101,29 @@ Result<GeneralizedTable> AnonymizeWithBurel(
   // box loss is taken. The full table satisfies β-likeness
   // (q_v == p_v), and only feasible halves are recursed into, so every
   // leaf is a valid equivalence class.
-  std::vector<int64_t> sequence(n);
-  for (int64_t i = 0; i < n; ++i) sequence[i] = order[i].second;
-
-  const int dims = table->num_qi();
   std::vector<int64_t> value_count(freqs.size(), 0);
   std::vector<int64_t> value_count2(freqs.size(), 0);
+  // SA values present in the current segment, collected once per node
+  // by the forward sweep: count resets and the axis cuts' per-value
+  // feasibility maxima then run over the (at most |SA|) present values
+  // instead of re-scanning the segment's rows.
+  std::vector<int32_t> touched;
+  touched.reserve(freqs.size());
+  // Histogram scratch for the axis medians of small-extent dimensions.
+  std::vector<int64_t> hist;
   // Per-position scratch, reused across segments: smallest feasible
   // prefix/suffix size and normalized box loss of each prefix/suffix.
   std::vector<double> prefix_required(n + 1), suffix_required(n + 1);
   std::vector<double> prefix_loss(n + 1), suffix_loss(n + 1);
   std::vector<int32_t> box_min(dims), box_max(dims);
   std::vector<int32_t> box2_min(dims), box2_max(dims);
+  std::vector<int32_t> seg_min(dims), seg_max(dims);
   std::vector<int32_t> scratch_values;
-
-  auto normalized_loss = [&]() {
-    return NormalizedBoxLoss(*table, box_min, box_max);
-  };
+  // Memoized winning axis partition: side flags per position, applied
+  // to `sequence` and the SoA mirror without re-scanning the segment.
+  std::vector<char> side_scratch(n), best_side(n);
+  std::vector<int64_t> part64(n);
+  std::vector<int32_t> part32(n);
 
   std::vector<std::vector<int64_t>> ecs;
   std::vector<std::pair<int64_t, int64_t>> stack;
@@ -230,57 +132,86 @@ Result<GeneralizedTable> AnonymizeWithBurel(
     const auto [lo, hi] = stack.back();
     stack.pop_back();
     const int64_t len = hi - lo;
+    if (profile != nullptr) ++profile->nodes;
 
     int64_t best_cut = -1;
-    if (len >= 2) {
-      // Forward sweep: feasibility and box loss of every prefix.
+    double best_score = -1.0;
+    int axis_dim = -1;
+    if (static_cast<double>(len) >= min_cut_len) {
+      if (profile != nullptr) section.Restart();
+      // Forward sweep: feasibility and box loss of every prefix. The
+      // loss is maintained incrementally — the O(dims) renormalization
+      // runs only on the (rare) rows that actually extend the box;
+      // every other position reuses the previous value bit-for-bit.
       double required = 1.0;
+      double last_loss = 0.0;
+      touched.clear();
       for (int d = 0; d < dims; ++d) {
-        box_min[d] = table->qi_spec(d).hi;
-        box_max[d] = table->qi_spec(d).lo;
+        box_min[d] = t.qi_spec(d).hi;
+        box_max[d] = t.qi_spec(d).lo;
       }
       for (int64_t i = lo; i < hi; ++i) {
-        const int64_t row = sequence[i];
-        const int32_t v = table->sa_value(row);
-        ++value_count[v];
+        const int32_t v = sa_pos[i];
+        if (++value_count[v] == 1) touched.push_back(v);
         required = std::max(
             required,
             static_cast<double>(value_count[v]) / thresholds[v]);
+        bool extended = false;
         for (int d = 0; d < dims; ++d) {
-          const int32_t value = table->qi_value(row, d);
-          box_min[d] = std::min(box_min[d], value);
-          box_max[d] = std::max(box_max[d], value);
+          const int32_t value = qcol[d][i];
+          if (value < box_min[d]) {
+            box_min[d] = value;
+            extended = true;
+          }
+          if (value > box_max[d]) {
+            box_max[d] = value;
+            extended = true;
+          }
         }
+        if (extended) last_loss = NormalizedBoxLoss(t, box_min, box_max);
         prefix_required[i - lo + 1] = required;
-        prefix_loss[i - lo + 1] = normalized_loss();
+        prefix_loss[i - lo + 1] = last_loss;
       }
-      for (int64_t i = lo; i < hi; ++i) {
-        value_count[table->sa_value(sequence[i])] = 0;
+      // The forward sweep ends on the whole segment's box: keep it for
+      // the axis-median scans below.
+      for (int d = 0; d < dims; ++d) {
+        seg_min[d] = box_min[d];
+        seg_max[d] = box_max[d];
       }
+      for (int32_t v : touched) value_count[v] = 0;
 
       // Backward sweep: the same for every suffix.
       required = 1.0;
+      last_loss = 0.0;
       for (int d = 0; d < dims; ++d) {
-        box_min[d] = table->qi_spec(d).hi;
-        box_max[d] = table->qi_spec(d).lo;
+        box_min[d] = t.qi_spec(d).hi;
+        box_max[d] = t.qi_spec(d).lo;
       }
       for (int64_t i = hi - 1; i >= lo; --i) {
-        const int64_t row = sequence[i];
-        const int32_t v = table->sa_value(row);
+        const int32_t v = sa_pos[i];
         ++value_count[v];
         required = std::max(
             required,
             static_cast<double>(value_count[v]) / thresholds[v]);
+        bool extended = false;
         for (int d = 0; d < dims; ++d) {
-          const int32_t value = table->qi_value(row, d);
-          box_min[d] = std::min(box_min[d], value);
-          box_max[d] = std::max(box_max[d], value);
+          const int32_t value = qcol[d][i];
+          if (value < box_min[d]) {
+            box_min[d] = value;
+            extended = true;
+          }
+          if (value > box_max[d]) {
+            box_max[d] = value;
+            extended = true;
+          }
         }
+        if (extended) last_loss = NormalizedBoxLoss(t, box_min, box_max);
         suffix_required[hi - i] = required;
-        suffix_loss[hi - i] = normalized_loss();
+        suffix_loss[hi - i] = last_loss;
       }
-      for (int64_t i = lo; i < hi; ++i) {
-        value_count[table->sa_value(sequence[i])] = 0;
+      for (int32_t v : touched) value_count[v] = 0;
+      if (profile != nullptr) {
+        profile->sweep_seconds += section.ElapsedSeconds();
       }
 
       // Best feasible cut: position k splits into sizes (k, len - k).
@@ -288,7 +219,7 @@ Result<GeneralizedTable> AnonymizeWithBurel(
       // overall); the full range is only scanned when the middle has no
       // feasible cut, so slivers cannot be peeled off systematically.
       auto search = [&](int64_t first, int64_t last) {
-        double best_score = 0.0;
+        double best_local = 0.0;
         for (int64_t k = first; k < last; ++k) {
           if (static_cast<double>(k) < prefix_required[k]) continue;
           if (static_cast<double>(len - k) < suffix_required[len - k]) {
@@ -297,76 +228,71 @@ Result<GeneralizedTable> AnonymizeWithBurel(
           const double score =
               static_cast<double>(k) * prefix_loss[k] +
               static_cast<double>(len - k) * suffix_loss[len - k];
-          if (best_cut < 0 || score < best_score) {
+          if (best_cut < 0 || score < best_local) {
             best_cut = k;
-            best_score = score;
+            best_local = score;
           }
         }
       };
       search(std::max<int64_t>(1, len / 4), len - len / 4);
       if (best_cut < 0) search(1, len);
-    }
-    double best_score = -1.0;
-    if (best_cut > 0) {
-      best_score = static_cast<double>(best_cut) * prefix_loss[best_cut] +
-                   static_cast<double>(len - best_cut) *
-                       suffix_loss[len - best_cut];
-    }
+      if (best_cut > 0) {
+        best_score = static_cast<double>(best_cut) * prefix_loss[best_cut] +
+                     static_cast<double>(len - best_cut) *
+                         suffix_loss[len - best_cut];
+      }
 
-    // Axis-median cuts: for each dimension, split at the median value
-    // (left takes v <= median) and score the two halves the same way.
-    int axis_dim = -1;
-    int32_t axis_split = 0;
-    if (len >= 2) {
+      // Axis-median cuts: for each dimension, split at the median value
+      // (left takes v <= median) and score the two halves the same way.
+      if (profile != nullptr) section.Restart();
       for (int d = 0; d < dims; ++d) {
-        scratch_values.clear();
-        for (int64_t i = lo; i < hi; ++i) {
-          scratch_values.push_back(table->qi_value(sequence[i], d));
+        const int32_t dim_min = seg_min[d];
+        const int32_t dim_max = seg_max[d];
+        if (dim_min == dim_max) continue;  // single-valued dimension
+        // Median (the value a sorted copy would hold at index len / 2):
+        // by counting sort when the live extent is no wider than the
+        // segment, by nth_element otherwise.
+        int32_t split;
+        // Widened: an int32 domain can span more than 2^31.
+        const int64_t dim_extent =
+            static_cast<int64_t>(dim_max) - dim_min;
+        if (dim_extent <= len) {
+          hist.assign(dim_extent + 1, 0);
+          for (int64_t i = lo; i < hi; ++i) {
+            ++hist[qcol[d][i] - static_cast<int64_t>(dim_min)];
+          }
+          int64_t cum = 0;
+          int64_t bucket = 0;
+          while (cum + hist[bucket] <= len / 2) cum += hist[bucket++];
+          split = static_cast<int32_t>(dim_min + bucket);
+        } else {
+          scratch_values.assign(qcol[d] + lo, qcol[d] + hi);
+          std::nth_element(scratch_values.begin(),
+                           scratch_values.begin() + len / 2,
+                           scratch_values.end());
+          split = scratch_values[len / 2];
         }
-        std::nth_element(scratch_values.begin(),
-                         scratch_values.begin() + len / 2,
-                         scratch_values.end());
-        int32_t split = scratch_values[len / 2];
-        const int32_t dim_max =
-            *std::max_element(scratch_values.begin(), scratch_values.end());
         if (split == dim_max) --split;
-        const int32_t dim_min =
-            *std::min_element(scratch_values.begin(), scratch_values.end());
-        if (split < dim_min) continue;  // single-valued dimension
+        if (split < dim_min) continue;
 
-        // One pass: per-side counts, sizes, and boxes.
+        // Side flags and per-side SA counts in one row pass …
         int64_t n_left = 0;
-        for (int dd = 0; dd < dims; ++dd) {
-          box_min[dd] = table->qi_spec(dd).hi;
-          box_max[dd] = table->qi_spec(dd).lo;
-          box2_min[dd] = table->qi_spec(dd).hi;
-          box2_max[dd] = table->qi_spec(dd).lo;
-        }
         for (int64_t i = lo; i < hi; ++i) {
-          const int64_t row = sequence[i];
-          const bool left = table->qi_value(row, d) <= split;
+          const bool left = qcol[d][i] <= split;
+          side_scratch[i] = left;
           if (left) {
             ++n_left;
-            ++value_count[table->sa_value(row)];
+            ++value_count[sa_pos[i]];
           } else {
-            ++value_count2[table->sa_value(row)];
-          }
-          for (int dd = 0; dd < dims; ++dd) {
-            const int32_t value = table->qi_value(row, dd);
-            if (left) {
-              box_min[dd] = std::min(box_min[dd], value);
-              box_max[dd] = std::max(box_max[dd], value);
-            } else {
-              box2_min[dd] = std::min(box2_min[dd], value);
-              box2_max[dd] = std::max(box2_max[dd], value);
-            }
+            ++value_count2[sa_pos[i]];
           }
         }
+        // … feasibility next, so infeasible candidates (the common
+        // case near the leaves) skip the O(dims * len) box pass …
         const int64_t n_right = len - n_left;
         double required_left = 1.0;
         double required_right = 1.0;
-        for (int64_t i = lo; i < hi; ++i) {
-          const int32_t v = table->sa_value(sequence[i]);
+        for (const int32_t v : touched) {
           if (value_count[v] > 0) {
             required_left = std::max(
                 required_left,
@@ -385,30 +311,76 @@ Result<GeneralizedTable> AnonymizeWithBurel(
             static_cast<double>(n_right) < required_right) {
           continue;
         }
-        const double left_loss = normalized_loss();
-        std::swap(box_min, box2_min);
-        std::swap(box_max, box2_max);
-        const double right_loss = normalized_loss();
+        // … then per-side boxes column-wise over the flags: the
+        // sentinel selects keep the loop branchless (an empty side
+        // retains its inverted init, exactly like a row-wise update).
+        for (int dd = 0; dd < dims; ++dd) {
+          int32_t lmin = t.qi_spec(dd).hi;
+          int32_t lmax = t.qi_spec(dd).lo;
+          int32_t rmin = lmin;
+          int32_t rmax = lmax;
+          const int32_t* column = qcol[dd];
+          for (int64_t i = lo; i < hi; ++i) {
+            const int32_t value = column[i];
+            const bool left = side_scratch[i] != 0;
+            lmin = std::min(
+                lmin, left ? value : std::numeric_limits<int32_t>::max());
+            lmax = std::max(
+                lmax, left ? value : std::numeric_limits<int32_t>::min());
+            rmin = std::min(
+                rmin, left ? std::numeric_limits<int32_t>::max() : value);
+            rmax = std::max(
+                rmax, left ? std::numeric_limits<int32_t>::min() : value);
+          }
+          box_min[dd] = lmin;
+          box_max[dd] = lmax;
+          box2_min[dd] = rmin;
+          box2_max[dd] = rmax;
+        }
+        const double left_loss = NormalizedBoxLoss(t, box_min, box_max);
+        const double right_loss = NormalizedBoxLoss(t, box2_min, box2_max);
         const double score = static_cast<double>(n_left) * left_loss +
                              static_cast<double>(n_right) * right_loss;
         if (best_score < 0.0 || score < best_score) {
           best_score = score;
           axis_dim = d;
-          axis_split = split;
           best_cut = n_left;
+          best_side.swap(side_scratch);
         }
+      }
+      if (profile != nullptr) {
+        profile->axis_seconds += section.ElapsedSeconds();
       }
     }
 
     if (best_cut <= 0) {
       ecs.emplace_back(sequence.begin() + lo, sequence.begin() + hi);
+      if (profile != nullptr) ++profile->leaves;
     } else {
       if (axis_dim >= 0) {
-        std::stable_partition(
-            sequence.begin() + lo, sequence.begin() + hi,
-            [&](int64_t row) {
-              return table->qi_value(row, axis_dim) <= axis_split;
-            });
+        // Apply the memoized stable partition to `sequence` and the SoA
+        // mirror: lefts keep curve order, then rights.
+        if (profile != nullptr) section.Restart();
+        const auto apply = [&](auto* data, auto* scratch) {
+          int64_t l = lo;
+          int64_t r = lo + best_cut;
+          for (int64_t i = lo; i < hi; ++i) {
+            if (best_side[i]) {
+              scratch[l++] = data[i];
+            } else {
+              scratch[r++] = data[i];
+            }
+          }
+          std::copy(scratch + lo, scratch + hi, data + lo);
+        };
+        apply(sequence.data(), part64.data());
+        for (int d = 0; d < dims; ++d) {
+          apply(qi_pos[d].data(), part32.data());
+        }
+        apply(sa_pos.data(), part32.data());
+        if (profile != nullptr) {
+          profile->partition_seconds += section.ElapsedSeconds();
+        }
       }
       stack.emplace_back(lo, lo + best_cut);
       stack.emplace_back(lo + best_cut, hi);

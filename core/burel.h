@@ -6,57 +6,55 @@
 // with frequency q_v <= p_v * (1 + min(beta, ln(1/p_v))); the basic
 // model uses q_v <= p_v * (1 + beta).
 //
-// This bootstrap slice implements:
-//   1. Bucketization: SA values sorted by descending frequency are
-//      greedily packed into the minimum number of buckets such that each
-//      bucket's total frequency fits the threshold of its least-frequent
-//      member — the feasibility precondition for redistribution (the
-//      paper's DP objective; greedy is optimal for this hereditary
-//      contiguous-partition constraint).
-//   2. Redistribution: tuples ordered along a Hilbert curve over the QI
-//      space are packed into equivalence classes, each class
-//      closed as soon as its per-value counts satisfy the β-likeness
-//      thresholds. Curve locality keeps the classes' QI bounding boxes
-//      tight, which is what gives BUREL its information-loss edge over
-//      space-partitioning schemes.
+// The pipeline:
+//   1. Bucketization (core/bucket_partition): SA values greedily packed
+//      into the minimum number of buckets under their thresholds — the
+//      feasibility precondition for redistribution.
+//   2. Formation: tuples ordered along a Hilbert curve over the QI
+//      space (hilbert/) are split by hybrid bisection — curve cuts at
+//      any feasible position plus Mondrian-style axis-median cuts,
+//      chosen by box loss. Curve locality keeps the classes' QI
+//      bounding boxes tight, which is what gives BUREL its
+//      information-loss edge over space-partitioning schemes.
 // The paper's ECTree formation and Hilbert-curve retrieval variants are
 // follow-up work (see the ablation bench, not yet built).
 #ifndef BETALIKE_CORE_BUREL_H_
 #define BETALIKE_CORE_BUREL_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "core/bucket_partition.h"
 #include "data/table.h"
 
 namespace betalike {
 
-struct BurelOptions {
-  // The β-likeness privacy budget: an adversary's posterior belief in
-  // any SA value may exceed its prior by at most a factor 1 + beta.
-  double beta = 1.0;
-  // Enhanced model caps the allowed gain at ln(1/p_v) for rare values.
-  bool enhanced = true;
+// Component wall-clock breakdown of one AnonymizeWithBurel call, for
+// the micro bench (bench_micro_components) and perf regression tests.
+struct BurelProfile {
+  double encode_seconds = 0.0;     // bulk Hilbert key computation
+  double sort_seconds = 0.0;       // radix sort of the keys
+  double gather_seconds = 0.0;     // SoA copies of the QI/SA columns
+  double bucketize_seconds = 0.0;  // SA-value bucketization
+  double sweep_seconds = 0.0;      // prefix/suffix feasibility sweeps
+  double axis_seconds = 0.0;       // axis-median cut evaluation
+  double partition_seconds = 0.0;  // applying the winning axis cuts
+  int64_t nodes = 0;               // bisection nodes visited
+  int64_t leaves = 0;              // equivalence classes emitted
 };
-
-// Per-SA-value equivalence-class frequency caps for the chosen model:
-// thresholds[v] = p_v * (1 + min(beta, ln(1/p_v))) (enhanced) or
-// p_v * (1 + beta) (basic). Exposed for Mondrian baselines and tests.
-std::vector<double> BetaLikenessThresholds(const std::vector<double>& freqs,
-                                           const BurelOptions& options);
-
-// SA-value buckets from step 1 of BUREL: each bucket is a set of value
-// codes with similar frequencies; total bucket frequency respects the
-// threshold of the rarest member. Exposed for tests and future
-// formation variants.
-Result<std::vector<std::vector<int32_t>>> BucketizeSaValues(
-    const std::vector<double>& freqs, const BurelOptions& options);
 
 // Anonymizes `table` so that the result satisfies β-likeness under
 // `options`. Fails on invalid options or an empty table.
 Result<GeneralizedTable> AnonymizeWithBurel(
     std::shared_ptr<const Table> table, const BurelOptions& options);
+
+// As above; when `profile` is non-null it is overwritten with the
+// component timing breakdown of this call.
+Result<GeneralizedTable> AnonymizeWithBurel(
+    std::shared_ptr<const Table> table, const BurelOptions& options,
+    BurelProfile* profile);
 
 }  // namespace betalike
 

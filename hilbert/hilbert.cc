@@ -1,0 +1,257 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace betalike {
+namespace {
+
+// Largest dimensionality Encode's stack buffer supports; also the point
+// beyond which a 64-bit key could not give every dimension a bit.
+constexpr int kMaxDims = 64;
+
+// Rows gathered per block in the bulk encoder: dims * kBlockRows axis
+// codes stay resident in L1 while the per-row transform runs.
+constexpr int64_t kBlockRows = 1024;
+
+// Skilling's in-place transform (AIP Conf. Proc. 707, 2004): turns
+// coordinates into the transposed Hilbert index.
+void AxesToTranspose(uint32_t* x, int n, int bits) {
+  const uint32_t top = 1u << (bits - 1);
+  // Inverse undo.
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = top; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+// Interleaves the transposed index into one integer: one bit per
+// dimension per level, most significant level first.
+uint64_t TransposeToKey(const uint32_t* x, int n, int bits) {
+  uint64_t key = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < n; ++i) {
+      key = (key << 1) | ((x[i] >> b) & 1u);
+    }
+  }
+  return key;
+}
+
+// How one QI dimension's values map to curve axis codes: the
+// dimension's natural grid is aligned to the top bits, so adjacent
+// codes of a low-cardinality attribute differ only in the curve's
+// coarse levels, instead of smearing noise across the fine levels the
+// way full-range rescaling would.
+struct DimScale {
+  int32_t lo = 0;
+  // Left shift if >= 0, right shift by -shift otherwise. Dimensions
+  // with a single-point domain map to axis 0 via lo == value.
+  int shift = 0;
+
+  uint32_t Axis(int32_t value) const {
+    // Widen before subtracting: int32 domains can span more than 2^31.
+    const int64_t offset = static_cast<int64_t>(value) - lo;
+    return shift >= 0 ? static_cast<uint32_t>(offset << shift)
+                      : static_cast<uint32_t>(offset >> -shift);
+  }
+};
+
+// Bits needed for the dimension's natural grid: smallest width whose
+// range covers the extent.
+int BitsNeeded(const QiSpec& spec) {
+  const int64_t extent = spec.extent();
+  if (extent <= 0) return 0;
+  int need = 1;
+  while ((1LL << need) <= extent) ++need;
+  return need;
+}
+
+DimScale ScaleForDim(const QiSpec& spec, int bits) {
+  DimScale scale;
+  scale.lo = spec.lo;
+  const int need = BitsNeeded(spec);
+  scale.shift = need == 0 ? 0 : bits - need;
+  return scale;
+}
+
+// Curve resolution for a table: the top-bit alignment makes every level
+// below the widest dimension's grid a constant zero across all axes,
+// and by the curve's self-similarity dropping constant-zero fine levels
+// rescales every key by 2^(dims * dropped) without reordering any pair.
+// So the per-dimension cap of HilbertBitsForDims is lowered to the
+// widest grid actually present — fewer transform levels per row, same
+// curve order.
+int TableHilbertBits(const Table& table) {
+  const int cap = HilbertBitsForDims(table.num_qi());
+  int max_need = 1;
+  for (int d = 0; d < table.num_qi(); ++d) {
+    max_need = std::max(max_need, BitsNeeded(table.qi_spec(d)));
+  }
+  return std::min(cap, max_need);
+}
+
+}  // namespace
+
+int HilbertBitsForDims(int dims) {
+  return std::max(1, std::min(16, 60 / std::max(1, dims)));
+}
+
+Result<HilbertCurve> HilbertCurve::Create(int dims, int bits) {
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument(
+        StrFormat("dims = %d outside [1, %d]", dims, kMaxDims));
+  }
+  if (bits < 1 || bits > 31) {
+    return Status::InvalidArgument(
+        StrFormat("bits = %d outside [1, 31]", bits));
+  }
+  if (dims * bits > 64) {
+    return Status::InvalidArgument(StrFormat(
+        "key width dims * bits = %d exceeds 64", dims * bits));
+  }
+  return HilbertCurve(dims, bits);
+}
+
+uint64_t HilbertCurve::Encode(const std::vector<uint32_t>& axes) const {
+  BETALIKE_CHECK(static_cast<int>(axes.size()) == dims_)
+      << "Encode got " << axes.size() << " axes for a " << dims_
+      << "-dimensional curve";
+  uint32_t x[kMaxDims];
+  const uint32_t mask =
+      bits_ == 31 ? 0x7fffffffu : (1u << bits_) - 1u;
+  for (int d = 0; d < dims_; ++d) x[d] = axes[d] & mask;
+  AxesToTranspose(x, dims_, bits_);
+  return TransposeToKey(x, dims_, bits_);
+}
+
+uint64_t HilbertKeyForRow(const Table& table, int64_t row) {
+  const int dims = table.num_qi();
+  if (dims == 0) return 0;  // no QI: every ordering is equivalent
+  const int bits = TableHilbertBits(table);
+  uint32_t x[kMaxDims];
+  for (int d = 0; d < dims && d < kMaxDims; ++d) {
+    x[d] = ScaleForDim(table.qi_spec(d), bits).Axis(table.qi_value(row, d));
+  }
+  const int n = std::min(dims, kMaxDims);
+  AxesToTranspose(x, n, bits);
+  return TransposeToKey(x, n, bits);
+}
+
+std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
+  const int64_t n = table.num_rows();
+  const int dims = std::min(table.num_qi(), kMaxDims);
+  std::vector<uint64_t> keys(n, 0);
+  if (dims == 0 || n == 0) return keys;
+  const int bits = TableHilbertBits(table);
+
+  std::vector<DimScale> scales(dims);
+  for (int d = 0; d < dims; ++d) {
+    scales[d] = ScaleForDim(table.qi_spec(d), bits);
+  }
+
+  // Morton spread table: byte value -> its bits spaced `dims` apart, so
+  // the bit-interleave of TransposeToKey becomes table lookups. Bit j
+  // of an axis lands at key bit j * dims (+ the dimension offset);
+  // entries whose spread would overflow 64 bits belong to levels above
+  // `bits` and are never set in a scaled axis.
+  uint64_t spread[256];
+  for (int byte = 0; byte < 256; ++byte) {
+    uint64_t s = 0;
+    for (int j = 0; j < 8; ++j) {
+      if ((byte >> j & 1) != 0 && j * dims < 64) s |= 1ULL << (j * dims);
+    }
+    spread[byte] = s;
+  }
+
+  // Block-wise: scale each column's slice in a linear pass (axis codes
+  // land row-major in `block`), then run the per-row transform over the
+  // L1-resident block.
+  std::vector<uint32_t> block(static_cast<size_t>(kBlockRows) * dims);
+  for (int64_t lo = 0; lo < n; lo += kBlockRows) {
+    const int64_t count = std::min(kBlockRows, n - lo);
+    for (int d = 0; d < dims; ++d) {
+      const int32_t* column = table.qi_column(d).data() + lo;
+      const DimScale scale = scales[d];
+      uint32_t* out = block.data() + d;
+      for (int64_t i = 0; i < count; ++i) {
+        out[i * dims] = scale.Axis(column[i]);
+      }
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      uint32_t* x = block.data() + i * dims;
+      AxesToTranspose(x, dims, bits);
+      // Interleave via the spread table: axis d contributes its bits at
+      // stride dims, offset dims - 1 - d (most significant level
+      // first), matching TransposeToKey bit-for-bit.
+      uint64_t key = 0;
+      for (int d = 0; d < dims; ++d) {
+        const uint32_t axis = x[d];
+        uint64_t lanes = spread[axis & 0xff];
+        if (bits > 8) lanes |= spread[(axis >> 8) & 0xff] << (8 * dims);
+        key |= lanes << (dims - 1 - d);
+      }
+      keys[lo + i] = key;
+    }
+  }
+  return keys;
+}
+
+std::vector<int64_t> SortRowsByHilbertKey(
+    const std::vector<uint64_t>& keys) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (n < 2) return order;
+
+  uint64_t max_key = 0;
+  for (uint64_t k : keys) max_key = std::max(max_key, k);
+
+  // Stable LSD radix sort on the populated key bytes; starting from
+  // ascending row order, stability makes the result identical to a
+  // comparison sort over (key, row) pairs.
+  std::vector<int64_t> scratch(n);
+  int64_t counts[256];
+  for (int shift = 0; shift < 64 && (max_key >> shift) != 0; shift += 8) {
+    std::memset(counts, 0, sizeof(counts));
+    for (int64_t i = 0; i < n; ++i) {
+      ++counts[(keys[order[i]] >> shift) & 0xff];
+    }
+    int64_t total = 0;
+    for (int64_t& c : counts) {
+      const int64_t start = total;
+      total += c;
+      c = start;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      scratch[counts[(keys[order[i]] >> shift) & 0xff]++] = order[i];
+    }
+    order.swap(scratch);
+  }
+  return order;
+}
+
+std::vector<int64_t> HilbertOrder(const Table& table) {
+  return SortRowsByHilbertKey(ComputeHilbertKeys(table));
+}
+
+}  // namespace betalike

@@ -1,0 +1,165 @@
+// Brute-force β-likeness cross-check: an O(n * |SA|) verifier that
+// recounts every equivalence class against the model thresholds from
+// first principles, run over BUREL's output on randomized small tables
+// (both models, several β) and cross-validated against MeasuredBeta.
+// Independent of the formation code entirely — if the optimized hot
+// path ever emits an infeasible class, this wall catches it.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "census/census.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/burel.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+// Slack for the verifier's freshly-computed q_v against thresholds the
+// formation enforced through its own (differently-associated) floating
+// arithmetic.
+constexpr double kSlack = 1e-9;
+
+struct NaiveAudit {
+  bool satisfies = false;  // every EC obeys every per-value threshold
+  double beta = 0.0;       // worst relative confidence gain
+  std::string violation;   // first offending EC/value, for the log
+};
+
+// The O(n * |SA|) recount: no incremental state, no shared helpers
+// with the formation — each class is scanned once per SA value.
+NaiveAudit NaiveVerify(const GeneralizedTable& published,
+                       const BurelOptions& options) {
+  const Table& source = published.source();
+  const std::vector<double> freqs = source.SaFrequencies();
+  const std::vector<double> thresholds =
+      BetaLikenessThresholds(freqs, options);
+  NaiveAudit audit;
+  audit.satisfies = true;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    for (int32_t v = 0; v < source.sa_spec().num_values; ++v) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        if (source.sa_value(row) == v) ++count;
+      }
+      if (count == 0) continue;
+      const double q = static_cast<double>(count) /
+                       static_cast<double>(ec.size());
+      if (freqs[v] > 0.0) {
+        audit.beta = std::max(audit.beta, (q - freqs[v]) / freqs[v]);
+      }
+      if (q > thresholds[v] + kSlack) {
+        if (audit.satisfies) {
+          audit.violation =
+              StrFormat("ec %zu value %d: q=%f > threshold=%f", e, v, q,
+                        thresholds[v]);
+        }
+        audit.satisfies = false;
+      }
+    }
+  }
+  return audit;
+}
+
+Table RandomTable(Rng* rng) {
+  const int dims = static_cast<int>(rng->Uniform(1, 3));
+  const int64_t rows = rng->Uniform(20, 300);
+  std::vector<QiSpec> qi_schema(dims);
+  std::vector<std::vector<int32_t>> qi_columns(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t lo = static_cast<int32_t>(rng->Uniform(-20, 20));
+    const int32_t hi = lo + static_cast<int32_t>(rng->Uniform(0, 12));
+    qi_schema[d] = {"Q" + std::to_string(d), lo, hi};
+    qi_columns[d].reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      qi_columns[d].push_back(static_cast<int32_t>(rng->Uniform(lo, hi)));
+    }
+  }
+  // Skewed SA draw: low codes are much more frequent, exercising both
+  // tight thresholds (rare values) and the 1.0 cap (dominant values).
+  const int32_t sa_values = static_cast<int32_t>(rng->Uniform(2, 6));
+  std::vector<int32_t> sa(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    sa[i] = static_cast<int32_t>(
+        rng->Below(static_cast<uint64_t>(rng->Below(sa_values)) + 1));
+  }
+  auto table = Table::Create(std::move(qi_schema), {"SA", sa_values},
+                             std::move(qi_columns), std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(NaiveVerify, AcceptsBurelOnRandomizedTables) {
+  Rng rng(4242);
+  for (int round = 0; round < 25; ++round) {
+    auto table = std::make_shared<Table>(RandomTable(&rng));
+    for (const double beta : {0.5, 1.0, 2.5}) {
+      for (const bool enhanced : {true, false}) {
+        BurelOptions options;
+        options.beta = beta;
+        options.enhanced = enhanced;
+        auto published = AnonymizeWithBurel(table, options);
+        ASSERT_OK(published);
+        const NaiveAudit audit = NaiveVerify(*published, options);
+        EXPECT_TRUE(audit.satisfies);
+        if (!audit.satisfies) {
+          BETALIKE_LOG(ERROR)
+              << "round " << round << " beta " << beta << " enhanced "
+              << enhanced << ": " << audit.violation;
+        }
+        // The recounted worst gain must equal the audited metric and
+        // respect the budget (enhanced only tightens basic).
+        EXPECT_NEAR(audit.beta, MeasuredBeta(*published), 1e-12);
+        EXPECT_LE(audit.beta, beta + kSlack);
+      }
+    }
+  }
+}
+
+TEST(NaiveVerify, AcceptsBurelOnCensus) {
+  CensusOptions census;
+  census.num_rows = 2000;
+  auto generated = GenerateCensus(census);
+  ASSERT_OK(generated);
+  auto prefixed = generated->WithQiPrefix(3);
+  ASSERT_OK(prefixed);
+  auto table = std::make_shared<Table>(std::move(prefixed).value());
+  for (const double beta : {1.0, 4.0}) {
+    BurelOptions options;
+    options.beta = beta;
+    auto published = AnonymizeWithBurel(table, options);
+    ASSERT_OK(published);
+    const NaiveAudit audit = NaiveVerify(*published, options);
+    EXPECT_TRUE(audit.satisfies);
+    EXPECT_NEAR(audit.beta, MeasuredBeta(*published), 1e-12);
+  }
+}
+
+// The verifier itself must reject an infeasible publication: one class
+// made entirely of a rare value breaches its threshold.
+TEST(NaiveVerify, RejectsHandBuiltViolation) {
+  // 10 rows, rare value 1 appears twice; a 2-row class holding both
+  // has q = 1.0 >> threshold(p=0.2).
+  std::vector<int32_t> qi = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int32_t> sa = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  auto table = Table::Create({{"A", 0, 9}}, {"SA", 2}, {qi}, sa);
+  ASSERT_OK(table);
+  auto shared = std::make_shared<Table>(std::move(table).value());
+  auto published = GeneralizedTable::Create(
+      shared, {{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9}});
+  ASSERT_OK(published);
+  BurelOptions options;
+  options.beta = 1.0;
+  const NaiveAudit audit = NaiveVerify(*published, options);
+  EXPECT_FALSE(audit.satisfies);
+  EXPECT_NEAR(audit.beta, 4.0, 1e-12);  // q=1.0 vs p=0.2
+}
+
+}  // namespace
+}  // namespace betalike

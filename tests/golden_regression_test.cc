@@ -1,0 +1,106 @@
+// Golden regression wall: BUREL and the three Mondrian baselines on the
+// fixed-seed CENSUS table, pinned to checked-in EC counts, AIL, and
+// measured β. Every value was captured from the pre-optimization
+// formation (PR 1) — the hot-path rewrite (hilbert/ extraction, SoA
+// sweeps, incremental extents, memoized axis partitions) is required to
+// reproduce them bit-for-bit, and any future PR that silently changes
+// published output fails here.
+#include <memory>
+
+#include "baseline/mondrian.h"
+#include "census/census.h"
+#include "core/burel.h"
+#include "metrics/info_loss.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+// Drift allowed on the pinned doubles. The values are printed with 15
+// decimals, so this is dominated by real algorithmic change, not
+// formatting.
+constexpr double kTolerance = 1e-9;
+
+std::shared_ptr<const Table> GoldenTable(int64_t rows) {
+  CensusOptions options;
+  options.num_rows = rows;  // seed stays the default 42
+  auto full = GenerateCensus(options);
+  BETALIKE_CHECK(full.ok()) << full.status().ToString();
+  auto prefixed = full->WithQiPrefix(3);
+  BETALIKE_CHECK(prefixed.ok()) << prefixed.status().ToString();
+  return std::make_shared<Table>(std::move(prefixed).value());
+}
+
+void ExpectGolden(const Result<GeneralizedTable>& published, size_t ecs,
+                  double ail, double beta) {
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), ecs);
+  EXPECT_NEAR(AverageInfoLoss(*published), ail, kTolerance);
+  EXPECT_NEAR(MeasuredBeta(*published), beta, kTolerance);
+}
+
+TEST(GoldenRegression, BurelEnhancedBeta1) {
+  BurelOptions options;
+  options.beta = 1.0;
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 13,
+               0.293250951199338, 1.0);
+}
+
+TEST(GoldenRegression, BurelEnhancedBeta4) {
+  BurelOptions options;
+  options.beta = 4.0;
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 123,
+               0.070287593052109, 4.0);
+}
+
+TEST(GoldenRegression, BurelBasicBeta4) {
+  BurelOptions options;
+  options.beta = 4.0;
+  options.enhanced = false;
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 183,
+               0.069816046319272, 4.0);
+}
+
+TEST(GoldenRegression, LMondrianBeta4) {
+  ExpectGolden(Mondrian::ForBetaLikeness(4.0).Anonymize(GoldenTable(10000)),
+               89, 0.081778287841191, 3.977600796416128);
+}
+
+TEST(GoldenRegression, DMondrianBeta4) {
+  ExpectGolden(Mondrian::ForDeltaFromBeta(4.0).Anonymize(GoldenTable(10000)),
+               10, 0.312653349875931, 1.683043167183401);
+}
+
+TEST(GoldenRegression, TMondrianT02) {
+  ExpectGolden(Mondrian::ForTCloseness(0.2).Anonymize(GoldenTable(10000)),
+               50, 0.111160463192721, 5.002400960384153);
+}
+
+// The strongest pin: an FNV-1a hash over the exact equivalence-class
+// structure (sizes and member rows, in emission order) of the fig7
+// largest table at scale 1. This is what "the optimization may not
+// change published output" means literally — the hot path must take
+// the same cut at every node.
+TEST(GoldenRegression, BurelEcStructureHash100k) {
+  BurelOptions options;
+  options.beta = 4.0;
+  auto published = AnonymizeWithBurel(GoldenTable(100000), options);
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 1255u);
+  EXPECT_NEAR(AverageInfoLoss(*published), 0.006109627791563, kTolerance);
+  uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](uint64_t x) {
+    hash ^= x;
+    hash *= 1099511628211ULL;
+  };
+  for (size_t i = 0; i < published->num_ecs(); ++i) {
+    const EquivalenceClass& ec = published->ec(i);
+    mix(static_cast<uint64_t>(ec.size()));
+    for (int64_t row : ec.rows) mix(static_cast<uint64_t>(row));
+  }
+  EXPECT_EQ(hash, 0x21a40b92ecfa8985ULL);
+}
+
+}  // namespace
+}  // namespace betalike

@@ -1,0 +1,208 @@
+#include "hilbert/hilbert.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "census/census.h"
+#include "common/random.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+Table RandomTable(Rng* rng, int dims, int64_t rows, int32_t max_extent) {
+  std::vector<QiSpec> qi_schema(dims);
+  std::vector<std::vector<int32_t>> qi_columns(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t lo = static_cast<int32_t>(rng->Uniform(-50, 50));
+    const int32_t hi =
+        lo + static_cast<int32_t>(rng->Uniform(0, max_extent));
+    qi_schema[d] = {"Q" + std::to_string(d), lo, hi};
+    qi_columns[d].reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      qi_columns[d].push_back(static_cast<int32_t>(rng->Uniform(lo, hi)));
+    }
+  }
+  const int32_t sa_values = static_cast<int32_t>(rng->Uniform(2, 6));
+  std::vector<int32_t> sa(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    sa[i] = static_cast<int32_t>(rng->Below(sa_values));
+  }
+  auto table = Table::Create(std::move(qi_schema), {"SA", sa_values},
+                             std::move(qi_columns), std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(HilbertBitsForDims, MatchesPolicy) {
+  EXPECT_EQ(HilbertBitsForDims(1), 16);
+  EXPECT_EQ(HilbertBitsForDims(3), 16);
+  EXPECT_EQ(HilbertBitsForDims(5), 12);
+  EXPECT_EQ(HilbertBitsForDims(10), 6);
+  EXPECT_EQ(HilbertBitsForDims(60), 1);
+  EXPECT_EQ(HilbertBitsForDims(100), 1);  // floor: 1 bit per dimension
+}
+
+TEST(HilbertCurve, CreateValidatesArguments) {
+  EXPECT_OK(HilbertCurve::Create(2, 16));
+  EXPECT_OK(HilbertCurve::Create(64, 1));
+  EXPECT_FALSE(HilbertCurve::Create(0, 4).ok());
+  EXPECT_FALSE(HilbertCurve::Create(-1, 4).ok());
+  EXPECT_FALSE(HilbertCurve::Create(2, 0).ok());
+  EXPECT_FALSE(HilbertCurve::Create(2, 33).ok());
+  EXPECT_FALSE(HilbertCurve::Create(5, 13).ok());  // 65-bit key
+}
+
+// On an exhaustive power-of-two grid, the curve must visit every cell
+// exactly once (keys are a bijection) and consecutively visited cells
+// must be orthogonal neighbors — the defining Hilbert adjacency.
+TEST(HilbertCurve, ExhaustiveGridIsBijectiveAndAdjacent) {
+  for (const auto& [dims, bits] : {std::pair<int, int>{2, 3},
+                                   std::pair<int, int>{3, 2}}) {
+    auto curve = HilbertCurve::Create(dims, bits);
+    ASSERT_OK(curve);
+    const int64_t side = 1LL << bits;
+    int64_t cells = 1;
+    for (int d = 0; d < dims; ++d) cells *= side;
+
+    std::vector<std::vector<uint32_t>> by_key(
+        cells, std::vector<uint32_t>());
+    std::vector<uint32_t> axes(dims, 0);
+    for (int64_t cell = 0; cell < cells; ++cell) {
+      int64_t rest = cell;
+      for (int d = 0; d < dims; ++d) {
+        axes[d] = static_cast<uint32_t>(rest % side);
+        rest /= side;
+      }
+      const uint64_t key = curve->Encode(axes);
+      ASSERT_TRUE(key < static_cast<uint64_t>(cells));
+      EXPECT_EQ(by_key[key].size(), 0u);  // no two cells share a key
+      by_key[key] = axes;
+    }
+    for (int64_t key = 1; key < cells; ++key) {
+      int64_t l1 = 0;
+      for (int d = 0; d < dims; ++d) {
+        l1 += std::abs(static_cast<int64_t>(by_key[key][d]) -
+                       static_cast<int64_t>(by_key[key - 1][d]));
+      }
+      EXPECT_EQ(l1, 1);  // consecutive keys are grid neighbors
+    }
+  }
+}
+
+TEST(HilbertKeys, BulkMatchesRowwiseOnRandomTables) {
+  Rng rng(2012);
+  for (int round = 0; round < 20; ++round) {
+    const int dims = static_cast<int>(rng.Uniform(1, 5));
+    const int64_t rows = rng.Uniform(1, 400);
+    // Mix of tiny (even single-point) and wide domains.
+    const int32_t max_extent =
+        round % 3 == 0 ? 2 : static_cast<int32_t>(rng.Uniform(1, 3000));
+    const Table table = RandomTable(&rng, dims, rows, max_extent);
+    const std::vector<uint64_t> bulk = ComputeHilbertKeys(table);
+    ASSERT_EQ(bulk.size(), static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(bulk[i], HilbertKeyForRow(table, i));
+    }
+  }
+}
+
+TEST(HilbertKeys, BulkMatchesRowwiseOnCensus) {
+  CensusOptions options;
+  options.num_rows = 5000;
+  auto census = GenerateCensus(options);
+  ASSERT_OK(census);
+  const std::vector<uint64_t> bulk = ComputeHilbertKeys(*census);
+  for (int64_t i = 0; i < census->num_rows(); ++i) {
+    EXPECT_EQ(bulk[i], HilbertKeyForRow(*census, i));
+  }
+}
+
+TEST(HilbertKeys, DistinctPointsGetDistinctKeysOnSmallGrid) {
+  // 8x8 exhaustive grid: extents fit the curve resolution, so the key
+  // must be injective on QI points.
+  const int32_t side = 8;
+  std::vector<int32_t> a, b;
+  for (int32_t x = 0; x < side; ++x) {
+    for (int32_t y = 0; y < side; ++y) {
+      a.push_back(x);
+      b.push_back(y);
+    }
+  }
+  std::vector<int32_t> sa(a.size(), 0);
+  auto table = Table::Create({{"A", 0, side - 1}, {"B", 0, side - 1}},
+                             {"SA", 1}, {a, b}, sa);
+  ASSERT_OK(table);
+  std::vector<uint64_t> keys = ComputeHilbertKeys(*table);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_TRUE(std::adjacent_find(keys.begin(), keys.end()) == keys.end());
+}
+
+TEST(HilbertKeys, CurveOrderInvariantUnderRowPermutation) {
+  Rng rng(7);
+  const Table table = RandomTable(&rng, 3, 200, 8);
+  // Same rows in reversed storage order.
+  const int64_t n = table.num_rows();
+  std::vector<std::vector<int32_t>> rev_cols(3);
+  std::vector<QiSpec> schema;
+  for (int d = 0; d < 3; ++d) {
+    schema.push_back(table.qi_spec(d));
+    rev_cols[d].assign(table.qi_column(d).rbegin(),
+                       table.qi_column(d).rend());
+  }
+  std::vector<int32_t> rev_sa(table.sa_column().rbegin(),
+                              table.sa_column().rend());
+  auto reversed = Table::Create(schema, table.sa_spec(),
+                                std::move(rev_cols), std::move(rev_sa));
+  ASSERT_OK(reversed);
+
+  const std::vector<int64_t> order = HilbertOrder(table);
+  const std::vector<int64_t> rev_order = HilbertOrder(*reversed);
+  ASSERT_EQ(order.size(), rev_order.size());
+  // The traversal must visit the same sequence of QI points (ties
+  // between identical points are broken by row index in both).
+  const std::vector<uint64_t> keys = ComputeHilbertKeys(table);
+  const std::vector<uint64_t> rev_keys = ComputeHilbertKeys(*reversed);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[order[i]], rev_keys[rev_order[i]]);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(table.qi_value(order[i], d),
+                reversed->qi_value(rev_order[i], d));
+    }
+  }
+}
+
+TEST(HilbertSort, RadixMatchesComparisonSort) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    const int64_t n = rng.Uniform(0, 500);
+    std::vector<uint64_t> keys(n);
+    for (int64_t i = 0; i < n; ++i) {
+      // Heavy duplication plus occasional full-width keys.
+      keys[i] = round % 2 == 0 ? rng.Below(16) : rng.NextUint64();
+    }
+    std::vector<std::pair<uint64_t, int64_t>> pairs;
+    for (int64_t i = 0; i < n; ++i) pairs.emplace_back(keys[i], i);
+    std::sort(pairs.begin(), pairs.end());
+    const std::vector<int64_t> order = SortRowsByHilbertKey(keys);
+    ASSERT_EQ(order.size(), pairs.size());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(order[i], pairs[i].second);
+    }
+  }
+}
+
+TEST(HilbertKeys, NoQiDimensionsYieldIdentityOrder) {
+  auto table = Table::Create({}, {"SA", 2}, {}, {0, 1, 1, 0});
+  ASSERT_OK(table);
+  const std::vector<uint64_t> keys = ComputeHilbertKeys(*table);
+  for (uint64_t k : keys) EXPECT_EQ(k, 0u);
+  const std::vector<int64_t> order = HilbertOrder(*table);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace betalike
