@@ -1,11 +1,7 @@
 // Figure 5 (§6.2): information loss (a) and wall-clock time (b) of BUREL,
 // LMondrian and DMondrian as a function of the β threshold, on CENSUS
 // with the default 3-attribute QI.
-#include "baseline/mondrian.h"
-#include "bench_util.h"
-#include "common/timer.h"
-#include "core/burel.h"
-#include "metrics/info_loss.h"
+#include "bench/scheme_driver.h"
 
 namespace betalike {
 namespace {
@@ -18,36 +14,12 @@ void Run() {
       "within ~1.5x of LMondrian)");
   auto table = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
 
-  TextTable out({"beta", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",
-                 "time_s(BUREL)", "time_s(LMondrian)", "time_s(DMondrian)",
-                 "ECs(BUREL)"});
+  std::vector<bench::SweepPoint> points;
   for (double beta : {1.0, 2.0, 3.0, 4.0, 5.0}) {
-    WallTimer timer;
-    BurelOptions opts;
-    opts.beta = beta;
-    auto pb = AnonymizeWithBurel(table, opts);
-    const double tb = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pb.ok()) << pb.status().ToString();
-
-    timer.Restart();
-    auto pl = Mondrian::ForBetaLikeness(beta).Anonymize(table);
-    const double tl = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pl.ok()) << pl.status().ToString();
-
-    timer.Restart();
-    auto pd = Mondrian::ForDeltaFromBeta(beta).Anonymize(table);
-    const double td = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pd.ok()) << pd.status().ToString();
-
-    out.AddRow({StrFormat("%.0f", beta),
-                StrFormat("%.4f", AverageInfoLoss(*pb)),
-                StrFormat("%.4f", AverageInfoLoss(*pl)),
-                StrFormat("%.4f", AverageInfoLoss(*pd)),
-                StrFormat("%.3f", tb), StrFormat("%.3f", tl),
-                StrFormat("%.3f", td),
-                StrFormat("%zu", pb->num_ecs())});
+    points.push_back(
+        {StrFormat("%.0f", beta), table, bench::StandardSpecs(beta)});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  bench::RunAilTimeSweep(points, {"beta", /*first_scheme_ec_column=*/true});
 }
 
 }  // namespace

@@ -1,10 +1,6 @@
 // Figure 6 (§6.2): information loss (a) and time (b) as QI dimensionality
 // varies from 1 to 5, at beta = 4.
-#include "baseline/mondrian.h"
-#include "bench_util.h"
-#include "common/timer.h"
-#include "core/burel.h"
-#include "metrics/info_loss.h"
+#include "bench/scheme_driver.h"
 
 namespace betalike {
 namespace {
@@ -16,38 +12,15 @@ void Run() {
       "QI-space); BUREL stays lowest");
   auto full = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/5);
 
-  TextTable out({"QI", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",
-                 "time_s(BUREL)", "time_s(LMondrian)", "time_s(DMondrian)"});
+  std::vector<bench::SweepPoint> points;
   for (int qi = 1; qi <= 5; ++qi) {
     auto view = full->WithQiPrefix(qi);
-    BETALIKE_CHECK(view.ok());
-    auto table = std::make_shared<Table>(std::move(view).value());
-
-    WallTimer timer;
-    BurelOptions opts;
-    opts.beta = 4.0;
-    auto pb = AnonymizeWithBurel(table, opts);
-    const double tb = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pb.ok()) << pb.status().ToString();
-
-    timer.Restart();
-    auto pl = Mondrian::ForBetaLikeness(4.0).Anonymize(table);
-    const double tl = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pl.ok());
-
-    timer.Restart();
-    auto pd = Mondrian::ForDeltaFromBeta(4.0).Anonymize(table);
-    const double td = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pd.ok());
-
-    out.AddRow({StrFormat("%d", qi),
-                StrFormat("%.4f", AverageInfoLoss(*pb)),
-                StrFormat("%.4f", AverageInfoLoss(*pl)),
-                StrFormat("%.4f", AverageInfoLoss(*pd)),
-                StrFormat("%.3f", tb), StrFormat("%.3f", tl),
-                StrFormat("%.3f", td)});
+    BETALIKE_CHECK(view.ok()) << view.status().ToString();
+    points.push_back({StrFormat("%d", qi),
+                      std::make_shared<Table>(std::move(view).value()),
+                      bench::StandardSpecs(4.0)});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  bench::RunAilTimeSweep(points, {"QI"});
 }
 
 }  // namespace

@@ -1,12 +1,8 @@
 // Figure 7 (§6.2): information loss (a) and time (b) as the table size
 // varies (paper: 100K..500K tuples; here 0.2x..1x of the scaled default),
 // at beta = 4 and QI = 3.
-#include "baseline/mondrian.h"
-#include "bench_util.h"
+#include "bench/scheme_driver.h"
 #include "common/random.h"
-#include "common/timer.h"
-#include "core/burel.h"
-#include "metrics/info_loss.h"
 
 namespace betalike {
 namespace {
@@ -20,38 +16,14 @@ void Run() {
   auto full = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
   Rng rng(99);
 
-  TextTable out({"rows", "AIL(BUREL)", "AIL(LMondrian)", "AIL(DMondrian)",
-                 "time_s(BUREL)", "time_s(LMondrian)", "time_s(DMondrian)"});
+  std::vector<bench::SweepPoint> points;
   for (int step = 1; step <= 5; ++step) {
     const int64_t rows = bench::DefaultRows() * step / 5;
-    auto table =
-        std::make_shared<Table>(full->SampleRows(rows, &rng));
-
-    WallTimer timer;
-    BurelOptions opts;
-    opts.beta = 4.0;
-    auto pb = AnonymizeWithBurel(table, opts);
-    const double tb = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pb.ok()) << pb.status().ToString();
-
-    timer.Restart();
-    auto pl = Mondrian::ForBetaLikeness(4.0).Anonymize(table);
-    const double tl = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pl.ok());
-
-    timer.Restart();
-    auto pd = Mondrian::ForDeltaFromBeta(4.0).Anonymize(table);
-    const double td = timer.ElapsedSeconds();
-    BETALIKE_CHECK(pd.ok());
-
-    out.AddRow({StrFormat("%lld", static_cast<long long>(rows)),
-                StrFormat("%.4f", AverageInfoLoss(*pb)),
-                StrFormat("%.4f", AverageInfoLoss(*pl)),
-                StrFormat("%.4f", AverageInfoLoss(*pd)),
-                StrFormat("%.3f", tb), StrFormat("%.3f", tl),
-                StrFormat("%.3f", td)});
+    points.push_back({StrFormat("%lld", static_cast<long long>(rows)),
+                      std::make_shared<Table>(full->SampleRows(rows, &rng)),
+                      bench::StandardSpecs(4.0)});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  bench::RunAilTimeSweep(points, {"rows"});
 }
 
 }  // namespace

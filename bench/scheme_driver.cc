@@ -1,0 +1,82 @@
+#include "bench/scheme_driver.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "metrics/info_loss.h"
+
+namespace betalike {
+namespace bench {
+
+std::vector<std::string> SchemeNames(
+    const std::vector<AnonymizerSpec>& specs) {
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const AnonymizerSpec& spec : specs) {
+    auto scheme = MakeAnonymizer(spec);
+    BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
+    names.push_back((*scheme)->Name());
+  }
+  return names;
+}
+
+std::vector<SchemeRun> RunSchemes(const std::shared_ptr<const Table>& table,
+                                  const std::vector<AnonymizerSpec>& specs) {
+  std::vector<SchemeRun> runs;
+  runs.reserve(specs.size());
+  for (const AnonymizerSpec& spec : specs) {
+    auto scheme = MakeAnonymizer(spec);
+    BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
+    WallTimer timer;
+    auto published = (*scheme)->Anonymize(table);
+    const double seconds = timer.ElapsedSeconds();
+    BETALIKE_CHECK(published.ok())
+        << (*scheme)->Name() << ": " << published.status().ToString();
+    runs.push_back({(*scheme)->Name(), std::move(published).value(), seconds});
+  }
+  return runs;
+}
+
+void RunAilTimeSweep(const std::vector<SweepPoint>& points,
+                     const AilTimeSweepOptions& options) {
+  BETALIKE_CHECK(!points.empty()) << "empty sweep";
+  const std::vector<std::string> names = SchemeNames(points.front().specs);
+
+  std::vector<std::string> header{options.x_header};
+  for (const std::string& name : names) {
+    header.push_back(StrFormat("AIL(%s)", name.c_str()));
+  }
+  for (const std::string& name : names) {
+    header.push_back(StrFormat("time_s(%s)", name.c_str()));
+  }
+  if (options.first_scheme_ec_column) {
+    header.push_back(StrFormat("ECs(%s)", names.front().c_str()));
+  }
+
+  TextTable out(std::move(header));
+  for (const SweepPoint& point : points) {
+    const std::vector<SchemeRun> runs = RunSchemes(point.table, point.specs);
+    BETALIKE_CHECK(runs.size() == names.size())
+        << "scheme count changed mid-sweep at x=" << point.x;
+    std::vector<std::string> row{point.x};
+    for (size_t i = 0; i < runs.size(); ++i) {
+      BETALIKE_CHECK(runs[i].name == names[i])
+          << "scheme order changed mid-sweep at x=" << point.x;
+      row.push_back(StrFormat("%.4f", AverageInfoLoss(runs[i].published)));
+    }
+    for (const SchemeRun& run : runs) {
+      row.push_back(StrFormat("%.3f", run.seconds));
+    }
+    if (options.first_scheme_ec_column) {
+      row.push_back(StrFormat("%zu", runs.front().published.num_ecs()));
+    }
+    out.AddRow(std::move(row));
+  }
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+}  // namespace bench
+}  // namespace betalike

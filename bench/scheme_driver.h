@@ -1,0 +1,69 @@
+// Shared anonymize-and-measure driver for the paper benches. Each
+// figure bench used to hand-roll the same loop — construct each scheme,
+// time Anonymize, compute AIL, format a TextTable — so adding a scheme
+// or a figure meant editing every copy. Now a bench is just its sweep
+// definition: a list of SweepPoints (x cell, table, AnonymizerSpecs)
+// handed to the driver, which resolves schemes through the registry.
+#ifndef BETALIKE_BENCH_SCHEME_DRIVER_H_
+#define BETALIKE_BENCH_SCHEME_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/anonymizer.h"
+#include "data/table.h"
+
+namespace betalike {
+namespace bench {
+
+// The paper's standard comparison trio at one β: BUREL vs the
+// LMondrian and DMondrian baselines (every §6.2 figure runs these).
+inline std::vector<AnonymizerSpec> StandardSpecs(double beta) {
+  return {{"burel", beta}, {"lmondrian", beta}, {"dmondrian", beta}};
+}
+
+// Display names of `specs`, resolved through the registry (the bench
+// table column headers). CHECK-fails on an unknown scheme.
+std::vector<std::string> SchemeNames(
+    const std::vector<AnonymizerSpec>& specs);
+
+// One timed Anonymize run of one scheme.
+struct SchemeRun {
+  std::string name;  // Anonymizer::Name()
+  GeneralizedTable published;
+  double seconds = 0.0;
+};
+
+// Instantiates every spec through the registry and runs it on `table`,
+// timing each Anonymize. CHECK-fails on registry or anonymization
+// errors — a bench with a broken scheme should die loudly.
+std::vector<SchemeRun> RunSchemes(const std::shared_ptr<const Table>& table,
+                                  const std::vector<AnonymizerSpec>& specs);
+
+// One x-axis point of a figure sweep: the first-column cell, the table
+// to anonymize at this point, and the schemes to run on it. Every
+// point of one sweep must run the same scheme set (the column headers
+// come from the first point).
+struct SweepPoint {
+  std::string x;
+  std::shared_ptr<const Table> table;
+  std::vector<AnonymizerSpec> specs;
+};
+
+struct AilTimeSweepOptions {
+  std::string x_header;  // "beta" / "QI" / "rows"
+  // Appends an "ECs(<first scheme>)" column (Figure 5's panel detail).
+  bool first_scheme_ec_column = false;
+};
+
+// The fig5/6/7 shape: runs every point's schemes and prints the
+// AIL(scheme)... time_s(scheme)... table to stdout.
+void RunAilTimeSweep(const std::vector<SweepPoint>& points,
+                     const AilTimeSweepOptions& options);
+
+}  // namespace bench
+}  // namespace betalike
+
+#endif  // BETALIKE_BENCH_SCHEME_DRIVER_H_

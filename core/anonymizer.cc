@@ -1,0 +1,113 @@
+#include "core/anonymizer.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "baseline/mondrian.h"
+#include "common/string_util.h"
+#include "core/burel.h"
+
+namespace betalike {
+namespace {
+
+class BurelAnonymizer : public Anonymizer {
+ public:
+  BurelAnonymizer(double beta, bool enhanced) {
+    options_.beta = beta;
+    options_.enhanced = enhanced;
+  }
+
+  std::string Name() const override {
+    return options_.enhanced ? "BUREL" : "BUREL-basic";
+  }
+
+  Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const override {
+    return AnonymizeWithBurel(std::move(table), options_);
+  }
+
+ private:
+  BurelOptions options_;
+};
+
+class MondrianAnonymizer : public Anonymizer {
+ public:
+  MondrianAnonymizer(std::string name, Mondrian scheme)
+      : name_(std::move(name)), scheme_(scheme) {}
+
+  std::string Name() const override { return name_; }
+
+  Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const override {
+    return scheme_.Anonymize(std::move(table));
+  }
+
+ private:
+  std::string name_;
+  Mondrian scheme_;
+};
+
+std::unique_ptr<Anonymizer> MakeBurel(double beta) {
+  return std::make_unique<BurelAnonymizer>(beta, /*enhanced=*/true);
+}
+
+std::unique_ptr<Anonymizer> MakeBurelBasic(double beta) {
+  return std::make_unique<BurelAnonymizer>(beta, /*enhanced=*/false);
+}
+
+std::unique_ptr<Anonymizer> MakeLMondrian(double beta) {
+  return std::make_unique<MondrianAnonymizer>(
+      "LMondrian", Mondrian::ForBetaLikeness(beta));
+}
+
+std::unique_ptr<Anonymizer> MakeDMondrian(double beta) {
+  return std::make_unique<MondrianAnonymizer>(
+      "DMondrian", Mondrian::ForDeltaFromBeta(beta));
+}
+
+std::unique_ptr<Anonymizer> MakeTMondrian(double t) {
+  return std::make_unique<MondrianAnonymizer>(
+      "tMondrian", Mondrian::ForTCloseness(t));
+}
+
+using Factory = std::unique_ptr<Anonymizer> (*)(double param);
+
+// Explicit registration table (static-initializer self-registration
+// would be dropped by the static-library linker). Ordered map so
+// RegisteredSchemes() comes out sorted.
+const std::map<std::string, Factory>& Registry() {
+  static const std::map<std::string, Factory> kRegistry = {
+      {"burel", &MakeBurel},
+      {"burel-basic", &MakeBurelBasic},
+      {"lmondrian", &MakeLMondrian},
+      {"dmondrian", &MakeDMondrian},
+      {"tmondrian", &MakeTMondrian},
+  };
+  return kRegistry;
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredSchemes() {
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& entry : Registry()) names.push_back(entry.first);
+  return names;
+}
+
+Result<std::unique_ptr<Anonymizer>> MakeAnonymizer(const AnonymizerSpec& spec) {
+  const auto it = Registry().find(spec.scheme);
+  if (it == Registry().end()) {
+    return Status::NotFound(StrFormat(
+        "no anonymization scheme named \"%s\"", spec.scheme.c_str()));
+  }
+  if (!std::isfinite(spec.param) || spec.param <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("scheme \"%s\" needs a positive finite parameter, got %g",
+                  spec.scheme.c_str(), spec.param));
+  }
+  return it->second(spec.param);
+}
+
+}  // namespace betalike

@@ -1,0 +1,55 @@
+// Unified entry point for every anonymization scheme. Before this
+// interface each scheme exposed its own ad-hoc call (`AnonymizeWithBurel`
+// free function vs `Mondrian::ForBetaLikeness(...).Anonymize`), so every
+// bench re-implemented its own anonymize-and-measure scaffolding; now
+// benches, tests, and future serving layers construct schemes by name
+// through the registry and drive them uniformly.
+#ifndef BETALIKE_CORE_ANONYMIZER_H_
+#define BETALIKE_CORE_ANONYMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+// Interface every publication scheme implements. Implementations are
+// immutable after construction, so one instance can anonymize many
+// tables (and, later, be shared across serving threads).
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+
+  // Stable display name ("BUREL", "LMondrian", ...), used for bench
+  // column headers and log lines. Unique across registered schemes.
+  virtual std::string Name() const = 0;
+
+  // Publishes `table` under the scheme's privacy model. Fails on an
+  // empty table or parameters the scheme cannot satisfy.
+  virtual Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const = 0;
+};
+
+// Registry key: a scheme name from RegisteredSchemes() plus the
+// scheme's single privacy parameter — β for "burel"/"burel-basic"
+// (enhanced/basic β-likeness) and "lmondrian", the β that induces
+// δ = ln(1 + β) for "dmondrian", and t for "tmondrian".
+struct AnonymizerSpec {
+  std::string scheme;
+  double param = 1.0;
+};
+
+// The scheme names MakeAnonymizer accepts, sorted.
+std::vector<std::string> RegisteredSchemes();
+
+// Instantiates the scheme registered under `spec.scheme` with
+// `spec.param`: NotFound for an unknown scheme, InvalidArgument for a
+// non-finite or non-positive parameter.
+Result<std::unique_ptr<Anonymizer>> MakeAnonymizer(const AnonymizerSpec& spec);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_CORE_ANONYMIZER_H_

@@ -46,8 +46,8 @@ Result<Table> Table::Create(std::vector<QiSpec> qi_schema, SaSpec sa_schema,
     }
   }
   Table table;
-  table.qi_schema_ = std::move(qi_schema);
-  table.sa_schema_ = std::move(sa_schema);
+  table.schema_.qi = std::move(qi_schema);
+  table.schema_.sa = std::move(sa_schema);
   table.qi_cols_ = std::move(qi_columns);
   table.sa_ = std::move(sa_column);
   return table;
@@ -59,8 +59,8 @@ Result<Table> Table::WithQiPrefix(int qi_prefix) const {
         "QI prefix %d outside [1, %d]", qi_prefix, num_qi()));
   }
   Table out;
-  out.qi_schema_.assign(qi_schema_.begin(), qi_schema_.begin() + qi_prefix);
-  out.sa_schema_ = sa_schema_;
+  out.schema_.qi.assign(schema_.qi.begin(), schema_.qi.begin() + qi_prefix);
+  out.schema_.sa = schema_.sa;
   out.qi_cols_.assign(qi_cols_.begin(), qi_cols_.begin() + qi_prefix);
   out.sa_ = sa_;
   return out;
@@ -79,8 +79,7 @@ Table Table::SampleRows(int64_t n, Rng* rng) const {
     std::swap(index[i], index[j]);
   }
   Table out;
-  out.qi_schema_ = qi_schema_;
-  out.sa_schema_ = sa_schema_;
+  out.schema_ = schema_;
   out.qi_cols_.resize(qi_cols_.size());
   for (size_t d = 0; d < qi_cols_.size(); ++d) {
     out.qi_cols_[d].reserve(n);
@@ -94,7 +93,7 @@ Table Table::SampleRows(int64_t n, Rng* rng) const {
 }
 
 std::vector<double> Table::SaFrequencies() const {
-  std::vector<double> freqs(sa_schema_.num_values, 0.0);
+  std::vector<double> freqs(schema_.sa.num_values, 0.0);
   if (sa_.empty()) return freqs;
   for (int32_t v : sa_) freqs[v] += 1.0;
   const double inv = 1.0 / static_cast<double>(sa_.size());

@@ -34,6 +34,16 @@ struct SaSpec {
   int32_t num_values = 0;
 };
 
+// Full schema of a table: the QI domains plus the SA domain. Consumers
+// that only need domains — the query/ workload generator, estimator
+// sanity checks — take this instead of a whole Table.
+struct TableSchema {
+  std::vector<QiSpec> qi;
+  SaSpec sa;
+
+  int num_qi() const { return static_cast<int>(qi.size()); }
+};
+
 class Table {
  public:
   // Builds a table from column-major data. Every QI column must have the
@@ -45,10 +55,11 @@ class Table {
                               std::vector<int32_t> sa_column);
 
   int64_t num_rows() const { return static_cast<int64_t>(sa_.size()); }
-  int num_qi() const { return static_cast<int>(qi_schema_.size()); }
+  int num_qi() const { return schema_.num_qi(); }
 
-  const QiSpec& qi_spec(int dim) const { return qi_schema_[dim]; }
-  const SaSpec& sa_spec() const { return sa_schema_; }
+  const TableSchema& schema() const { return schema_; }
+  const QiSpec& qi_spec(int dim) const { return schema_.qi[dim]; }
+  const SaSpec& sa_spec() const { return schema_.sa; }
 
   int32_t qi_value(int64_t row, int dim) const { return qi_cols_[dim][row]; }
   int32_t sa_value(int64_t row) const { return sa_[row]; }
@@ -74,8 +85,7 @@ class Table {
  private:
   Table() = default;
 
-  std::vector<QiSpec> qi_schema_;
-  SaSpec sa_schema_;
+  TableSchema schema_;
   std::vector<std::vector<int32_t>> qi_cols_;
   std::vector<int32_t> sa_;
 };

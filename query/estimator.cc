@@ -1,0 +1,67 @@
+#include "query/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace betalike {
+
+double EstimateFromGeneralized(const GeneralizedTable& published,
+                               const AggregateQuery& query) {
+  double total = 0.0;
+  for (const EquivalenceClass& ec : published.ecs()) {
+    double fraction = 1.0;
+    for (const QueryPredicate& p : query.predicates) {
+      const int32_t box_lo = ec.qi_min[p.dim];
+      const int32_t box_hi = ec.qi_max[p.dim];
+      const int32_t lo = std::max(box_lo, p.lo);
+      const int32_t hi = std::min(box_hi, p.hi);
+      if (lo > hi) {
+        fraction = 0.0;
+        break;
+      }
+      fraction *= static_cast<double>(hi - lo + 1) /
+                  static_cast<double>(box_hi - box_lo + 1);
+    }
+    total += fraction * static_cast<double>(ec.size());
+  }
+  return total;
+}
+
+WorkloadError EvaluateWorkloadWithTruth(
+    const std::vector<int64_t>& truth,
+    const std::vector<AggregateQuery>& workload,
+    const std::function<double(const AggregateQuery&)>& estimate) {
+  BETALIKE_CHECK(truth.size() == workload.size())
+      << "truth has " << truth.size() << " counts for a workload of "
+      << workload.size() << " queries";
+  WorkloadError out;
+  out.num_queries = static_cast<int>(workload.size());
+  if (workload.empty()) return out;
+
+  std::vector<double> errors;
+  errors.reserve(workload.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const double actual = static_cast<double>(truth[i]);
+    const double error = 100.0 * std::fabs(estimate(workload[i]) - actual) /
+                         std::max(actual, 1.0);
+    errors.push_back(error);
+    sum += error;
+  }
+  out.mean_relative_error = sum / static_cast<double>(errors.size());
+
+  const size_t mid = errors.size() / 2;
+  std::nth_element(errors.begin(), errors.begin() + mid, errors.end());
+  double median = errors[mid];
+  if (errors.size() % 2 == 0) {
+    // Lower middle: the largest element left of the nth_element pivot.
+    median = 0.5 * (median +
+                    *std::max_element(errors.begin(), errors.begin() + mid));
+  }
+  out.median_relative_error = median;
+  return out;
+}
+
+}  // namespace betalike

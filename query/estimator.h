@@ -1,0 +1,45 @@
+// COUNT(*) estimation from a generalized publication (§6.2): the data
+// recipient only sees equivalence-class boxes, so each class answers a
+// query with its size times the fraction of its box that the query
+// covers — the standard uniform-spread assumption. Workload-level
+// accuracy is aggregated as median relative error, the paper's Figure 8
+// metric.
+#ifndef BETALIKE_QUERY_ESTIMATOR_H_
+#define BETALIKE_QUERY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/table.h"
+#include "query/workload.h"
+
+namespace betalike {
+
+// Uniform-spread estimate of `query`'s count over `published`: every
+// equivalence class contributes size(EC) * Π_d |box_d ∩ range_d| /
+// |box_d| over the query's predicates, counting integer points.
+double EstimateFromGeneralized(const GeneralizedTable& published,
+                               const AggregateQuery& query);
+
+// Accuracy aggregate of one (publication, workload) evaluation. Errors
+// are percentages: 100 * |estimate - truth| / max(truth, 1), with the
+// max(·, 1) floor keeping empty-result queries finite.
+struct WorkloadError {
+  double median_relative_error = 0.0;
+  double mean_relative_error = 0.0;
+  int num_queries = 0;
+};
+
+// Evaluates `estimate` on every workload query against the precomputed
+// `truth` counts (from PreciseCounts on the raw table). The median of
+// an even-sized workload is the mean of the two middle errors.
+// CHECK-fails if `truth` and `workload` sizes differ.
+WorkloadError EvaluateWorkloadWithTruth(
+    const std::vector<int64_t>& truth,
+    const std::vector<AggregateQuery>& workload,
+    const std::function<double(const AggregateQuery&)>& estimate);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_QUERY_ESTIMATOR_H_

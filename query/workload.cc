@@ -1,0 +1,153 @@
+#include "query/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace betalike {
+
+bool AggregateQuery::Matches(const Table& table, int64_t row) const {
+  for (const QueryPredicate& p : predicates) {
+    const int32_t v = table.qi_value(row, p.dim);
+    if (v < p.lo || v > p.hi) return false;
+  }
+  return true;
+}
+
+Status ValidateWorkloadOptions(const TableSchema& schema,
+                               const WorkloadOptions& options) {
+  if (options.num_queries <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("num_queries = %d must be positive", options.num_queries));
+  }
+  if (options.lambda < 1 || options.lambda > schema.num_qi()) {
+    return Status::InvalidArgument(StrFormat(
+        "lambda = %d outside [1, %d] (the schema's QI count)",
+        options.lambda, schema.num_qi()));
+  }
+  if (!std::isfinite(options.selectivity) || options.selectivity <= 0.0 ||
+      options.selectivity > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "selectivity = %g outside (0, 1]", options.selectivity));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// x^n by repeated multiplication in a fixed order: every step is a
+// correctly-rounded IEEE multiply, so the result is bit-identical on
+// every platform (std::pow is not — libm implementations differ by
+// ULPs, which would break the seeded-workload determinism guarantee).
+double PowByMult(double x, int n) {
+  double result = 1.0;
+  for (int i = 0; i < n; ++i) result *= x;
+  return result;
+}
+
+// The per-predicate range length: round(θ^(1/λ) * domain) clamped to
+// [1, domain], so that λ independent predicates of per-attribute
+// selectivity θ^(1/λ) compose to θ over the domain volume. Computed
+// without std::pow: binary search for the largest len with
+// len^λ <= θ * domain^λ, then apply round-half-up at (len + 0.5)^λ —
+// deterministic because only IEEE multiplies and compares are used.
+int64_t TargetRangeLength(int64_t domain, int lambda, double theta) {
+  const double target =
+      theta * PowByMult(static_cast<double>(domain), lambda);
+  int64_t lo = 1;
+  int64_t hi = domain;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo + 1) / 2;
+    if (PowByMult(static_cast<double>(mid), lambda) <= target) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  if (lo < domain &&
+      PowByMult(static_cast<double>(lo) + 0.5, lambda) <= target) {
+    ++lo;
+  }
+  return lo;
+}
+
+}  // namespace
+
+Result<std::vector<AggregateQuery>> GenerateWorkload(
+    const TableSchema& schema, const WorkloadOptions& options) {
+  const Status valid = ValidateWorkloadOptions(schema, options);
+  if (!valid.ok()) return valid;
+
+  Rng rng(options.seed);
+  std::vector<int> dims(schema.num_qi());
+  for (int d = 0; d < schema.num_qi(); ++d) dims[d] = d;
+
+  std::vector<AggregateQuery> workload;
+  workload.reserve(options.num_queries);
+  for (int q = 0; q < options.num_queries; ++q) {
+    // Partial Fisher-Yates: after λ steps, dims[0..λ) is a uniform
+    // draw of distinct attributes.
+    for (int i = 0; i < options.lambda; ++i) {
+      const int j = i + static_cast<int>(rng.Below(dims.size() - i));
+      std::swap(dims[i], dims[j]);
+    }
+    AggregateQuery query;
+    query.predicates.reserve(options.lambda);
+    for (int i = 0; i < options.lambda; ++i) {
+      const QiSpec& spec = schema.qi[dims[i]];
+      const int64_t domain = spec.extent() + 1;  // integer points
+      const int64_t len =
+          TargetRangeLength(domain, options.lambda, options.selectivity);
+      const int64_t start = rng.Uniform(spec.lo, spec.lo + domain - len);
+      query.predicates.push_back({dims[i], static_cast<int32_t>(start),
+                                  static_cast<int32_t>(start + len - 1)});
+    }
+    // Canonical attribute order, independent of the draw order.
+    std::sort(query.predicates.begin(), query.predicates.end(),
+              [](const QueryPredicate& a, const QueryPredicate& b) {
+                return a.dim < b.dim;
+              });
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+std::vector<int64_t> PreciseCounts(
+    const Table& table, const std::vector<AggregateQuery>& workload) {
+  std::vector<int64_t> counts;
+  counts.reserve(workload.size());
+  const int64_t n = table.num_rows();
+  // Raw column pointers hoisted out of the row loop: the scan is
+  // workload-size × table-size and dominates fig8's wall clock.
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  for (const AggregateQuery& query : workload) {
+    preds.clear();
+    for (const QueryPredicate& p : query.predicates) {
+      preds.push_back({table.qi_column(p.dim).data(), p.lo, p.hi});
+    }
+    int64_t count = 0;
+    for (int64_t row = 0; row < n; ++row) {
+      bool match = true;
+      for (const FlatPredicate& p : preds) {
+        const int32_t v = p.column[row];
+        if (v < p.lo || v > p.hi) {
+          match = false;
+          break;
+        }
+      }
+      count += match ? 1 : 0;
+    }
+    counts.push_back(count);
+  }
+  return counts;
+}
+
+}  // namespace betalike

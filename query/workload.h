@@ -1,0 +1,64 @@
+// COUNT(*) query workloads over the QI space (§6.2): the paper measures
+// utility as the relative error of aggregate queries answered from the
+// generalized publication instead of the raw microdata. A workload is a
+// deterministic, seeded batch of conjunctive range-predicate queries
+// with a target selectivity θ; PreciseCounts supplies the ground truth
+// from the raw table.
+#ifndef BETALIKE_QUERY_WORKLOAD_H_
+#define BETALIKE_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+// One range predicate `lo <= qi[dim] <= hi` (inclusive) of a
+// conjunctive query.
+struct QueryPredicate {
+  int dim = 0;
+  int32_t lo = 0;
+  int32_t hi = 0;
+};
+
+// COUNT(*) over a conjunction of range predicates on distinct QI
+// attributes (λ = predicates.size() in the paper's Figure 8a).
+struct AggregateQuery {
+  std::vector<QueryPredicate> predicates;
+
+  // True iff `row` of `table` satisfies every predicate.
+  bool Matches(const Table& table, int64_t row) const;
+};
+
+struct WorkloadOptions {
+  int num_queries = 1000;
+  // Number of predicates per query (λ); must not exceed the QI count.
+  int lambda = 2;
+  // Target selectivity θ in (0, 1]: the fraction of the QI domain
+  // volume each query covers. Each predicate spans a θ^(1/λ) fraction
+  // of its attribute's domain, so the λ ranges compose to θ.
+  double selectivity = 0.1;
+  uint64_t seed = 1;
+};
+
+// Ok iff the options are satisfiable against `schema` (positive query
+// count, 1 <= λ <= #QIs, θ in (0, 1]).
+Status ValidateWorkloadOptions(const TableSchema& schema,
+                               const WorkloadOptions& options);
+
+// Seeded deterministic workload: each query draws λ distinct QI
+// attributes uniformly and a uniformly-placed range of the target
+// length on each. Identical (schema, options) inputs produce an
+// identical workload on every platform.
+Result<std::vector<AggregateQuery>> GenerateWorkload(
+    const TableSchema& schema, const WorkloadOptions& options);
+
+// Ground truth: the exact COUNT(*) of every workload query on `table`.
+std::vector<int64_t> PreciseCounts(
+    const Table& table, const std::vector<AggregateQuery>& workload);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_QUERY_WORKLOAD_H_

@@ -1,0 +1,129 @@
+// Registry round-trip tests for the unified Anonymizer interface:
+// every registered scheme resolves name -> factory -> publication, and
+// publications obtained through the interface are structurally
+// identical to the schemes' direct APIs (the goldens pin the same fact
+// against checked-in values in golden_regression_test).
+#include "core/anonymizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "baseline/mondrian.h"
+#include "census/census.h"
+#include "core/burel.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+std::shared_ptr<const Table> SmallCensus() {
+  CensusOptions options;
+  options.num_rows = 2000;
+  auto full = GenerateCensus(options);
+  BETALIKE_CHECK(full.ok()) << full.status().ToString();
+  auto prefixed = full->WithQiPrefix(3);
+  BETALIKE_CHECK(prefixed.ok()) << prefixed.status().ToString();
+  return std::make_shared<Table>(std::move(prefixed).value());
+}
+
+// The scheme's parameter for round-trip runs: a t for tmondrian, a β
+// for everything else.
+double ParamFor(const std::string& scheme) {
+  return scheme == "tmondrian" ? 0.3 : 2.0;
+}
+
+TEST(AnonymizerRegistry, ListsAllSchemesSorted) {
+  const std::vector<std::string> schemes = RegisteredSchemes();
+  const std::vector<std::string> expected = {
+      "burel", "burel-basic", "dmondrian", "lmondrian", "tmondrian"};
+  EXPECT_TRUE(schemes == expected);
+  EXPECT_TRUE(std::is_sorted(schemes.begin(), schemes.end()));
+}
+
+TEST(AnonymizerRegistry, UnknownSchemeIsNotFound) {
+  auto scheme = MakeAnonymizer({"sabre", 1.0});
+  ASSERT_FALSE(scheme.ok());
+  EXPECT_EQ(scheme.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnonymizerRegistry, RejectsBadParameters) {
+  EXPECT_EQ(MakeAnonymizer({"burel", 0.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeAnonymizer({"lmondrian", -1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeAnonymizer({"tmondrian", std::nan("")}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnonymizerRegistry, EverySchemeRoundTripsToAPublication) {
+  auto table = SmallCensus();
+  std::set<std::string> names;
+  for (const std::string& scheme : RegisteredSchemes()) {
+    auto anonymizer = MakeAnonymizer({scheme, ParamFor(scheme)});
+    ASSERT_OK(anonymizer);
+    EXPECT_FALSE((*anonymizer)->Name().empty());
+    // Display names are unique across the registry.
+    EXPECT_TRUE(names.insert((*anonymizer)->Name()).second);
+    auto published = (*anonymizer)->Anonymize(table);
+    ASSERT_OK(published);
+    EXPECT_EQ(published->num_rows(), table->num_rows());
+    EXPECT_GT(published->num_ecs(), 0u);
+  }
+}
+
+TEST(AnonymizerRegistry, BetaSchemesSatisfyTheirBudget) {
+  auto table = SmallCensus();
+  for (const char* scheme : {"burel", "burel-basic", "lmondrian"}) {
+    auto anonymizer = MakeAnonymizer({scheme, 2.0});
+    ASSERT_OK(anonymizer);
+    auto published = (*anonymizer)->Anonymize(table);
+    ASSERT_OK(published);
+    EXPECT_LE(MeasuredBeta(*published), 2.0 + 1e-9);
+  }
+}
+
+void ExpectIdenticalPublications(const GeneralizedTable& a,
+                                 const GeneralizedTable& b) {
+  ASSERT_EQ(a.num_ecs(), b.num_ecs());
+  for (size_t i = 0; i < a.num_ecs(); ++i) {
+    EXPECT_TRUE(a.ec(i).rows == b.ec(i).rows);
+    EXPECT_TRUE(a.ec(i).qi_min == b.ec(i).qi_min);
+    EXPECT_TRUE(a.ec(i).qi_max == b.ec(i).qi_max);
+  }
+}
+
+TEST(AnonymizerRegistry, InterfaceIsDecisionIdenticalToDirectApis) {
+  auto table = SmallCensus();
+  const auto via_interface = [&](const AnonymizerSpec& spec) {
+    auto anonymizer = MakeAnonymizer(spec);
+    BETALIKE_CHECK(anonymizer.ok()) << anonymizer.status().ToString();
+    auto published = (*anonymizer)->Anonymize(table);
+    BETALIKE_CHECK(published.ok()) << published.status().ToString();
+    return std::move(published).value();
+  };
+
+  BurelOptions enhanced;
+  enhanced.beta = 2.0;
+  ExpectIdenticalPublications(*AnonymizeWithBurel(table, enhanced),
+                              via_interface({"burel", 2.0}));
+
+  BurelOptions basic;
+  basic.beta = 2.0;
+  basic.enhanced = false;
+  ExpectIdenticalPublications(*AnonymizeWithBurel(table, basic),
+                              via_interface({"burel-basic", 2.0}));
+
+  ExpectIdenticalPublications(*Mondrian::ForBetaLikeness(2.0).Anonymize(table),
+                              via_interface({"lmondrian", 2.0}));
+  ExpectIdenticalPublications(*Mondrian::ForDeltaFromBeta(2.0).Anonymize(table),
+                              via_interface({"dmondrian", 2.0}));
+  ExpectIdenticalPublications(*Mondrian::ForTCloseness(0.3).Anonymize(table),
+                              via_interface({"tmondrian", 0.3}));
+}
+
+}  // namespace
+}  // namespace betalike

@@ -5,10 +5,14 @@
 // sweeps, incremental extents, memoized axis partitions) is required to
 // reproduce them bit-for-bit, and any future PR that silently changes
 // published output fails here.
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "baseline/mondrian.h"
 #include "census/census.h"
+#include "core/anonymizer.h"
 #include "core/burel.h"
 #include "metrics/info_loss.h"
 #include "metrics/privacy_audit.h"
@@ -32,56 +36,100 @@ std::shared_ptr<const Table> GoldenTable(int64_t rows) {
   return std::make_shared<Table>(std::move(prefixed).value());
 }
 
-void ExpectGolden(const Result<GeneralizedTable>& published, size_t ecs,
-                  double ail, double beta) {
+// The single source of the pinned values: every case is checked both
+// through the schemes' direct APIs (the per-scheme TESTs below) and
+// through the Anonymizer registry (keyed by scheme/param here), so a
+// legitimate golden update edits exactly one row.
+struct GoldenCase {
+  const char* scheme;  // registry name
+  double param;
+  size_t ecs;
+  double ail;
+  double beta;
+};
+
+constexpr GoldenCase kGoldenCases[] = {
+    {"burel", 1.0, 13, 0.293250951199338, 1.0},
+    {"burel", 4.0, 123, 0.070287593052109, 4.0},
+    {"burel-basic", 4.0, 183, 0.069816046319272, 4.0},
+    {"lmondrian", 4.0, 89, 0.081778287841191, 3.977600796416128},
+    {"dmondrian", 4.0, 10, 0.312653349875931, 1.683043167183401},
+    {"tmondrian", 0.2, 50, 0.111160463192721, 5.002400960384153},
+};
+
+const GoldenCase& Golden(const char* scheme, double param) {
+  for (const GoldenCase& c : kGoldenCases) {
+    if (std::string(c.scheme) == scheme && c.param == param) return c;
+  }
+  BETALIKE_CHECK(false) << "no golden case for " << scheme;
+  std::abort();  // unreachable; CHECK above is fatal
+}
+
+void ExpectGolden(const Result<GeneralizedTable>& published,
+                  const GoldenCase& golden) {
   ASSERT_OK(published);
-  EXPECT_EQ(published->num_ecs(), ecs);
-  EXPECT_NEAR(AverageInfoLoss(*published), ail, kTolerance);
-  EXPECT_NEAR(MeasuredBeta(*published), beta, kTolerance);
+  EXPECT_EQ(published->num_ecs(), golden.ecs);
+  EXPECT_NEAR(AverageInfoLoss(*published), golden.ail, kTolerance);
+  EXPECT_NEAR(MeasuredBeta(*published), golden.beta, kTolerance);
 }
 
 TEST(GoldenRegression, BurelEnhancedBeta1) {
   BurelOptions options;
   options.beta = 1.0;
-  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 13,
-               0.293250951199338, 1.0);
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options),
+               Golden("burel", 1.0));
 }
 
 TEST(GoldenRegression, BurelEnhancedBeta4) {
   BurelOptions options;
   options.beta = 4.0;
-  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 123,
-               0.070287593052109, 4.0);
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options),
+               Golden("burel", 4.0));
 }
 
 TEST(GoldenRegression, BurelBasicBeta4) {
   BurelOptions options;
   options.beta = 4.0;
   options.enhanced = false;
-  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options), 183,
-               0.069816046319272, 4.0);
+  ExpectGolden(AnonymizeWithBurel(GoldenTable(10000), options),
+               Golden("burel-basic", 4.0));
 }
 
 TEST(GoldenRegression, LMondrianBeta4) {
   ExpectGolden(Mondrian::ForBetaLikeness(4.0).Anonymize(GoldenTable(10000)),
-               89, 0.081778287841191, 3.977600796416128);
+               Golden("lmondrian", 4.0));
 }
 
 TEST(GoldenRegression, DMondrianBeta4) {
   ExpectGolden(Mondrian::ForDeltaFromBeta(4.0).Anonymize(GoldenTable(10000)),
-               10, 0.312653349875931, 1.683043167183401);
+               Golden("dmondrian", 4.0));
 }
 
 TEST(GoldenRegression, TMondrianT02) {
   ExpectGolden(Mondrian::ForTCloseness(0.2).Anonymize(GoldenTable(10000)),
-               50, 0.111160463192721, 5.002400960384153);
+               Golden("tmondrian", 0.2));
 }
 
-// The strongest pin: an FNV-1a hash over the exact equivalence-class
-// structure (sizes and member rows, in emission order) of the fig7
-// largest table at scale 1. This is what "the optimization may not
-// change published output" means literally — the hot path must take
-// the same cut at every node.
+// FNV-1a hash over the exact equivalence-class structure (sizes and
+// member rows, in emission order).
+uint64_t EcStructureHash(const GeneralizedTable& published) {
+  uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](uint64_t x) {
+    hash ^= x;
+    hash *= 1099511628211ULL;
+  };
+  for (size_t i = 0; i < published.num_ecs(); ++i) {
+    const EquivalenceClass& ec = published.ec(i);
+    mix(static_cast<uint64_t>(ec.size()));
+    for (int64_t row : ec.rows) mix(static_cast<uint64_t>(row));
+  }
+  return hash;
+}
+
+// The strongest pin: the EC-structure hash of the fig7 largest table at
+// scale 1. This is what "the optimization may not change published
+// output" means literally — the hot path must take the same cut at
+// every node.
 TEST(GoldenRegression, BurelEcStructureHash100k) {
   BurelOptions options;
   options.beta = 4.0;
@@ -89,17 +137,30 @@ TEST(GoldenRegression, BurelEcStructureHash100k) {
   ASSERT_OK(published);
   EXPECT_EQ(published->num_ecs(), 1255u);
   EXPECT_NEAR(AverageInfoLoss(*published), 0.006109627791563, kTolerance);
-  uint64_t hash = 1469598103934665603ULL;
-  const auto mix = [&hash](uint64_t x) {
-    hash ^= x;
-    hash *= 1099511628211ULL;
-  };
-  for (size_t i = 0; i < published->num_ecs(); ++i) {
-    const EquivalenceClass& ec = published->ec(i);
-    mix(static_cast<uint64_t>(ec.size()));
-    for (int64_t row : ec.rows) mix(static_cast<uint64_t>(row));
+  EXPECT_EQ(EcStructureHash(*published), 0x21a40b92ecfa8985ULL);
+}
+
+// The Anonymizer-interface migration must be decision-identical: every
+// scheme constructed by name through the registry reproduces the exact
+// goldens its direct API is pinned to above.
+TEST(GoldenRegression, AnonymizerInterfaceReproducesAllGoldens) {
+  auto table = GoldenTable(10000);
+  for (const GoldenCase& c : kGoldenCases) {
+    auto scheme = MakeAnonymizer({c.scheme, c.param});
+    ASSERT_OK(scheme);
+    ExpectGolden((*scheme)->Anonymize(table), c);
   }
-  EXPECT_EQ(hash, 0x21a40b92ecfa8985ULL);
+}
+
+// ... and the bitwise pin holds through the interface too: the 100K EC
+// structure hash is identical to the direct-API run above.
+TEST(GoldenRegression, AnonymizerInterfaceEcStructureHash100k) {
+  auto scheme = MakeAnonymizer({"burel", 4.0});
+  ASSERT_OK(scheme);
+  auto published = (*scheme)->Anonymize(GoldenTable(100000));
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 1255u);
+  EXPECT_EQ(EcStructureHash(*published), 0x21a40b92ecfa8985ULL);
 }
 
 }  // namespace

@@ -1,0 +1,305 @@
+// query/ subsystem tests: deterministic seeded workload generation that
+// hits the requested selectivity band, exact estimation on an
+// ungeneralized (one-row-per-EC) publication, and the median-relative-
+// error aggregation cross-checked against a brute-force recount.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "census/census.h"
+#include "common/random.h"
+#include "query/estimator.h"
+#include "query/workload.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+std::shared_ptr<const Table> SmallCensus(int64_t rows = 2000) {
+  CensusOptions options;
+  options.num_rows = rows;
+  auto table = GenerateCensus(options);
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::make_shared<Table>(std::move(table).value());
+}
+
+// Uniform table with wide domains, so per-predicate range lengths
+// round to the target fraction with negligible error and empirical
+// selectivity matches the domain-volume fraction.
+std::shared_ptr<const Table> UniformWideTable(int64_t rows, uint64_t seed) {
+  const std::vector<QiSpec> qi_schema = {
+      {"A", 0, 999}, {"B", 0, 999}, {"C", 0, 999}};
+  const SaSpec sa_schema = {"S", 4};
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> qi_cols(qi_schema.size());
+  std::vector<int32_t> sa;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (auto& col : qi_cols) {
+      col.push_back(static_cast<int32_t>(rng.Below(1000)));
+    }
+    sa.push_back(static_cast<int32_t>(rng.Below(4)));
+  }
+  auto table = Table::Create(qi_schema, sa_schema, std::move(qi_cols),
+                             std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::make_shared<Table>(std::move(table).value());
+}
+
+bool SameWorkload(const std::vector<AggregateQuery>& a,
+                  const std::vector<AggregateQuery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].predicates.size() != b[i].predicates.size()) return false;
+    for (size_t j = 0; j < a[i].predicates.size(); ++j) {
+      const QueryPredicate& pa = a[i].predicates[j];
+      const QueryPredicate& pb = b[i].predicates[j];
+      if (pa.dim != pb.dim || pa.lo != pb.lo || pa.hi != pb.hi) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Workload, ValidatesOptions) {
+  const auto table = SmallCensus();
+  const TableSchema& schema = table->schema();
+  WorkloadOptions options;
+
+  options.num_queries = 0;
+  EXPECT_FALSE(GenerateWorkload(schema, options).ok());
+
+  options = WorkloadOptions();
+  options.lambda = 0;
+  EXPECT_FALSE(GenerateWorkload(schema, options).ok());
+  options.lambda = schema.num_qi() + 1;
+  EXPECT_FALSE(GenerateWorkload(schema, options).ok());
+
+  options = WorkloadOptions();
+  options.selectivity = 0.0;
+  EXPECT_FALSE(GenerateWorkload(schema, options).ok());
+  options.selectivity = 1.5;
+  EXPECT_FALSE(GenerateWorkload(schema, options).ok());
+
+  EXPECT_OK(GenerateWorkload(schema, WorkloadOptions()));
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  const auto table = SmallCensus();
+  const TableSchema& schema = table->schema();
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.lambda = 3;
+  options.seed = 7;
+
+  auto first = GenerateWorkload(schema, options);
+  auto second = GenerateWorkload(schema, options);
+  ASSERT_OK(first);
+  ASSERT_OK(second);
+  EXPECT_TRUE(SameWorkload(*first, *second));
+
+  options.seed = 8;
+  auto reseeded = GenerateWorkload(schema, options);
+  ASSERT_OK(reseeded);
+  EXPECT_FALSE(SameWorkload(*first, *reseeded));
+}
+
+TEST(Workload, PredicatesAreDistinctInDomainAndSorted) {
+  const auto table = SmallCensus();
+  const TableSchema& schema = table->schema();
+  WorkloadOptions options;
+  options.num_queries = 300;
+  options.lambda = 3;
+  auto workload = GenerateWorkload(schema, options);
+  ASSERT_OK(workload);
+  ASSERT_EQ(workload->size(), 300u);
+  for (const AggregateQuery& query : *workload) {
+    ASSERT_EQ(query.predicates.size(), 3u);
+    for (size_t j = 0; j < query.predicates.size(); ++j) {
+      const QueryPredicate& p = query.predicates[j];
+      if (j > 0) EXPECT_LT(query.predicates[j - 1].dim, p.dim);
+      const QiSpec& spec = schema.qi[p.dim];
+      EXPECT_LE(spec.lo, p.lo);
+      EXPECT_LE(p.lo, p.hi);
+      EXPECT_LE(p.hi, spec.hi);
+    }
+  }
+}
+
+TEST(Workload, HitsRequestedSelectivityBand) {
+  const auto table = UniformWideTable(20000, /*seed=*/5);
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.lambda = 2;
+  options.selectivity = 0.1;
+  options.seed = 11;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+
+  // Per query, the covered fraction of the domain volume is θ up to
+  // range-length rounding (domains are 1000 points wide).
+  for (const AggregateQuery& query : *workload) {
+    double volume = 1.0;
+    for (const QueryPredicate& p : query.predicates) {
+      volume *= static_cast<double>(p.hi - p.lo + 1) /
+                static_cast<double>(table->qi_spec(p.dim).extent() + 1);
+    }
+    EXPECT_NEAR(volume, options.selectivity, 0.01);
+  }
+
+  // On uniform data the mean empirical selectivity lands in a band
+  // around θ (sampling noise only).
+  const std::vector<int64_t> counts = PreciseCounts(*table, *workload);
+  double mean = 0.0;
+  for (int64_t count : counts) mean += static_cast<double>(count);
+  mean /= static_cast<double>(counts.size()) *
+          static_cast<double>(table->num_rows());
+  EXPECT_GT(mean, 0.08);
+  EXPECT_LT(mean, 0.12);
+}
+
+TEST(Workload, PreciseCountsMatchRowWiseMatches) {
+  const auto table = SmallCensus(1000);
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.lambda = 2;
+  options.seed = 3;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> counts = PreciseCounts(*table, *workload);
+  ASSERT_EQ(counts.size(), workload->size());
+  for (size_t i = 0; i < workload->size(); ++i) {
+    int64_t expected = 0;
+    for (int64_t row = 0; row < table->num_rows(); ++row) {
+      if ((*workload)[i].Matches(*table, row)) ++expected;
+    }
+    EXPECT_EQ(counts[i], expected);
+  }
+}
+
+TEST(Estimator, ExactOnUngeneralizedTable) {
+  const auto table = SmallCensus(500);
+  // One row per EC: every published box is a point, so uniform-spread
+  // estimation degenerates to exact counting.
+  std::vector<std::vector<int64_t>> ec_rows;
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows.push_back({row});
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.lambda = 2;
+  options.selectivity = 0.2;
+  options.seed = 17;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+  for (size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_NEAR(EstimateFromGeneralized(*published, (*workload)[i]),
+                static_cast<double>(truth[i]), 1e-9);
+  }
+}
+
+TEST(Estimator, UniformSpreadFractionOfOneEc) {
+  // One EC spanning a [0, 9] box of 10 rows: a query covering half of
+  // the box's points estimates half of the EC's size.
+  const std::vector<QiSpec> qi_schema = {{"A", 0, 9}};
+  const SaSpec sa_schema = {"S", 2};
+  std::vector<std::vector<int32_t>> qi_cols(1);
+  std::vector<int32_t> sa;
+  for (int32_t v = 0; v < 10; ++v) {
+    qi_cols[0].push_back(v);
+    sa.push_back(v % 2);
+  }
+  auto table_or = Table::Create(qi_schema, sa_schema, std::move(qi_cols),
+                                std::move(sa));
+  ASSERT_OK(table_or);
+  auto table = std::make_shared<Table>(std::move(table_or).value());
+  auto published = GeneralizedTable::Create(
+      table, {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}});
+  ASSERT_OK(published);
+
+  AggregateQuery query;
+  query.predicates.push_back({0, 0, 4});
+  EXPECT_NEAR(EstimateFromGeneralized(*published, query), 5.0, 1e-12);
+  query.predicates[0] = {0, 8, 20};  // clipped overlap: 2 of 10 points
+  EXPECT_NEAR(EstimateFromGeneralized(*published, query), 2.0, 1e-12);
+  query.predicates[0] = {0, 15, 20};  // disjoint
+  EXPECT_NEAR(EstimateFromGeneralized(*published, query), 0.0, 1e-12);
+}
+
+TEST(Estimator, MedianAndMeanCrossCheckedAgainstBruteForce) {
+  const auto table = SmallCensus(1500);
+  // A deliberately coarse publication (three arbitrary slabs) so the
+  // estimates differ from the truth.
+  std::vector<std::vector<int64_t>> ec_rows(3);
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows[row % 3].push_back(row);
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+
+  WorkloadOptions options;
+  options.num_queries = 101;  // odd: the median is one exact element
+  options.lambda = 2;
+  options.seed = 23;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+
+  const auto estimate = [&](const AggregateQuery& query) {
+    return EstimateFromGeneralized(*published, query);
+  };
+  const WorkloadError error =
+      EvaluateWorkloadWithTruth(truth, *workload, estimate);
+  EXPECT_EQ(error.num_queries, 101);
+
+  // Brute force: recount the truth row by row, recompute every error,
+  // and take the median/mean by full sort.
+  std::vector<double> errors;
+  double sum = 0.0;
+  for (size_t i = 0; i < workload->size(); ++i) {
+    int64_t recount = 0;
+    for (int64_t row = 0; row < table->num_rows(); ++row) {
+      if ((*workload)[i].Matches(*table, row)) ++recount;
+    }
+    ASSERT_EQ(recount, truth[i]);
+    const double err =
+        100.0 * std::fabs(estimate((*workload)[i]) -
+                          static_cast<double>(recount)) /
+        std::max(static_cast<double>(recount), 1.0);
+    errors.push_back(err);
+    sum += err;
+  }
+  std::sort(errors.begin(), errors.end());
+  EXPECT_NEAR(error.median_relative_error, errors[errors.size() / 2], 1e-9);
+  EXPECT_NEAR(error.mean_relative_error,
+              sum / static_cast<double>(errors.size()), 1e-9);
+  EXPECT_GT(error.median_relative_error, 0.0);
+}
+
+TEST(Estimator, EvenWorkloadMedianAveragesTheMiddlePair) {
+  // Four queries with hand-pickable errors: truth {10, 10, 10, 10},
+  // estimates {10, 12, 16, 30} -> errors {0%, 20%, 60%, 200%}, median
+  // (20 + 60) / 2 = 40%.
+  const auto table = SmallCensus(100);
+  WorkloadOptions options;
+  options.num_queries = 4;
+  options.lambda = 1;
+  options.seed = 29;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = {10, 10, 10, 10};
+  const double estimates[] = {10.0, 12.0, 16.0, 30.0};
+  size_t next = 0;
+  const WorkloadError error = EvaluateWorkloadWithTruth(
+      truth, *workload,
+      [&](const AggregateQuery&) { return estimates[next++]; });
+  EXPECT_NEAR(error.median_relative_error, 40.0, 1e-12);
+  EXPECT_NEAR(error.mean_relative_error, 70.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace betalike
