@@ -1,0 +1,64 @@
+// SABRE — Sensitive Attribute Bucketization and REdistribution (Cao,
+// Karras, Kalnis & Tung, VLDB J. 2011), the t-closeness scheme BUREL is
+// compared against in the paper's Figure 4. Adapted to this repo's
+// categorical SA with the variational-distance EMD (the same ground
+// metric metrics/MeasuredCloseness audits):
+//
+//   1. Bucketization: SA values greedily packed into EMD-bounded
+//      buckets — a multi-value bucket's worst-case intra-bucket
+//      contribution to an equivalence class's EMD (its total frequency
+//      minus its rarest member's) stays within a fixed share of t, and
+//      the contributions summed over all buckets within another, so
+//      redistribution may pick any tuples of a bucket without breaking
+//      the budget.
+//   2. Redistribution: tuples of each bucket are ordered along the
+//      Hilbert curve (hilbert/) and every equivalence class takes one
+//      contiguous slab per bucket, sized by proportional apportionment.
+//      Aligned slabs keep the classes' QI boxes tight while their SA
+//      composition tracks the overall distribution.
+//
+// The class count is chosen from the inter-bucket rounding budget and
+// then validated against the *exact* per-class variational distance,
+// backing off until every class satisfies EMD <= t — so the published
+// table always meets its bound (the brute-force checker in
+// tests/closeness_verify_test.cc re-proves this from first principles).
+#ifndef BETALIKE_BASELINE_SABRE_H_
+#define BETALIKE_BASELINE_SABRE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct SabreOptions {
+  // The t-closeness budget: every equivalence class's SA distribution
+  // must stay within variational distance t of the overall one.
+  double t = 0.15;
+};
+
+// Ok iff `options` carries a positive finite t.
+Status ValidateSabreOptions(const SabreOptions& options);
+
+// Step 1: greedy EMD-bounded packing of SA value codes (ascending
+// frequency) into buckets. A bucket B of total frequency P_B may cost
+// an equivalence class up to intra(B) = P_B - min_{v in B} p_v of
+// variational distance when redistribution draws its tuples unevenly;
+// packing keeps every intra(B) <= t/4 and their sum <= t/2, reserving
+// the other half of t for apportionment rounding. Values with zero
+// frequency are omitted. Exposed for the formation and for tests.
+std::vector<std::vector<int32_t>> SabreBucketizeSaValues(
+    const std::vector<double>& freqs, double t);
+
+// Anonymizes `table` so that every equivalence class of the result is
+// t-close to the overall SA distribution under the variational-distance
+// EMD. Fails on invalid options or an empty table.
+Result<GeneralizedTable> AnonymizeWithSabre(
+    std::shared_ptr<const Table> table, const SabreOptions& options);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_BASELINE_SABRE_H_

@@ -1,54 +1,38 @@
-// Figure 4 (§6.1): face-to-face comparison of β-likeness with t-closeness
-// schemes (tMondrian, SABRE) under three equalizations:
-//   (a) equal t: run BUREL at β, measure its closeness t_β, run the
-//       t-closeness schemes at t_β, compare achieved ("real") β;
-//   (b) equal t, starting from t: binary-search the β_t that makes BUREL
-//       match a given t, compare real β;
-//   (c) equal AIL: binary-search each scheme's parameter to a common AIL
-//       target, compare real β.
-// The paper's point: at equal t-closeness or equal information loss, the
-// t-closeness schemes leave orders-of-magnitude larger relative
-// confidence gains (real β) than BUREL does.
-#include <cmath>
+// Figure 4 (§6.1): face-to-face comparison of β-likeness with the
+// t-closeness schemes (tMondrian, SABRE) under three equalizations:
+//   (a) start from β: run BUREL at β, measure its achieved closeness
+//       t_β, run the t-closeness schemes at t_β, compare achieved
+//       ("real") β;
+//   (b) start from t: binary-search the β_t at which BUREL is t-close,
+//       run the t-closeness schemes at t, compare real β;
+//   (c) equal AIL: binary-search every scheme's parameter to a common
+//       AIL target, compare real β.
+// The paper's point: at equal t-closeness or equal information loss,
+// the t-closeness schemes leave far larger relative confidence gains
+// (real β) than BUREL does — and at matched privacy BUREL also pays
+// no more information loss than SABRE. Every scheme is constructed by
+// registry name and every panel is a scheme_driver sweep with the
+// measured-privacy columns switched on.
 #include <functional>
+#include <memory>
 
-#include "baseline/mondrian.h"
-#include "baseline/sabre.h"
-#include "bench_util.h"
-#include "core/burel.h"
+#include "bench/scheme_driver.h"
 #include "metrics/info_loss.h"
 #include "metrics/privacy_audit.h"
 
 namespace betalike {
 namespace {
 
-Result<GeneralizedTable> RunBurel(std::shared_ptr<const Table> table,
-                                  double beta) {
-  BurelOptions opts;
-  opts.beta = beta;
-  return AnonymizeWithBurel(std::move(table), opts);
-}
-
-Result<GeneralizedTable> RunSabre(std::shared_ptr<const Table> table,
-                                  double t) {
-  SabreOptions opts;
-  opts.t = t;
-  auto sabre = Sabre::Create(opts);
-  if (!sabre.ok()) return sabre.status();
-  return sabre->Anonymize(std::move(table));
-}
-
-// Binary search for the parameter x in [lo, hi] such that metric(x) is
-// nearest (from below if possible) to `target`; metric must be monotone
+// Binary search for the parameter x in [lo, hi] whose metric(x) is
+// nearest to `target` from below; metric must be monotone
 // non-decreasing in x. Returns the best x found.
 double SearchParameter(double lo, double hi, double target,
                        const std::function<double(double)>& metric,
-                       int iterations = 14) {
+                       int iterations = 12) {
   double best = hi;
   for (int i = 0; i < iterations; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const double got = metric(mid);
-    if (got <= target) {
+    if (metric(mid) <= target) {
       best = mid;
       lo = mid;
     } else {
@@ -58,89 +42,78 @@ double SearchParameter(double lo, double hi, double target,
   return best;
 }
 
+bench::AilTimeSweepOptions PanelOptions(const std::string& x_header) {
+  bench::AilTimeSweepOptions options;
+  options.x_header = x_header;
+  options.measured_beta_columns = true;
+  options.closeness_columns = true;
+  return options;
+}
+
 void PartA(const std::shared_ptr<const Table>& table) {
   std::printf("--- Fig. 4(a): start from beta, equalize on t_beta ---\n");
-  TextTable out({"beta", "t_beta", "realb(BUREL)", "realb(tMondrian)",
-                 "realb(SABRE)"});
+  std::vector<bench::SweepPoint> points;
   for (double beta : {2.0, 3.0, 4.0, 5.0}) {
-    auto pb = RunBurel(table, beta);
-    BETALIKE_CHECK(pb.ok()) << pb.status().ToString();
-    const double t_beta = MeasuredCloseness(*pb);
-    auto pt = Mondrian::ForTCloseness(t_beta).Anonymize(table);
-    BETALIKE_CHECK(pt.ok());
-    auto ps = RunSabre(table, t_beta);
-    BETALIKE_CHECK(ps.ok()) << ps.status().ToString();
-    out.AddRow({StrFormat("%.0f", beta), StrFormat("%.4f", t_beta),
-                StrFormat("%.2f", MeasuredBeta(*pb)),
-                StrFormat("%.2f", MeasuredBeta(*pt)),
-                StrFormat("%.2f", MeasuredBeta(*ps))});
+    const double t_beta =
+        MeasuredCloseness(bench::Publish(table, {"burel", beta}));
+    points.push_back({StrFormat("%.0f", beta),
+                      table,
+                      {{"burel", beta},
+                       {"tmondrian", t_beta},
+                       {"sabre", t_beta}}});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  RunAilTimeSweep(points, PanelOptions("beta"));
 }
 
 void PartB(const std::shared_ptr<const Table>& table) {
   std::printf("--- Fig. 4(b): start from t, equalize on t ---\n");
-  TextTable out({"t", "beta_t", "realb(BUREL)", "realb(tMondrian)",
-                 "realb(SABRE)"});
+  std::vector<bench::SweepPoint> points;
   for (double t : {0.05, 0.10, 0.15, 0.20}) {
-    // Find beta_t whose BUREL output is at most t-close.
+    // The largest beta at which BUREL's publication is still t-close
+    // (closeness grows with beta: looser budgets leave skewed classes).
     const double beta_t = SearchParameter(
         0.05, 32.0, t, [&](double beta) {
-          auto pub = RunBurel(table, beta);
-          return pub.ok() ? MeasuredCloseness(*pub) : 1e9;
+          return MeasuredCloseness(bench::Publish(table, {"burel", beta}));
         });
-    auto pb = RunBurel(table, beta_t);
-    BETALIKE_CHECK(pb.ok());
-    auto pt = Mondrian::ForTCloseness(t).Anonymize(table);
-    BETALIKE_CHECK(pt.ok());
-    auto ps = RunSabre(table, t);
-    BETALIKE_CHECK(ps.ok());
-    out.AddRow({StrFormat("%.2f", t), StrFormat("%.2f", beta_t),
-                StrFormat("%.2f", MeasuredBeta(*pb)),
-                StrFormat("%.2f", MeasuredBeta(*pt)),
-                StrFormat("%.2f", MeasuredBeta(*ps))});
+    points.push_back({StrFormat("%.2f", t),
+                      table,
+                      {{"burel", beta_t},
+                       {"tmondrian", t},
+                       {"sabre", t}}});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  RunAilTimeSweep(points, PanelOptions("t"));
 }
 
 void PartC(const std::shared_ptr<const Table>& table) {
   std::printf("--- Fig. 4(c): equalize on AIL ---\n");
-  TextTable out({"AIL", "realb(BUREL)", "realb(tMondrian)",
-                 "realb(SABRE)"});
-  // AIL falls as beta/t grow, so search on the negated metric.
-  for (double target : {0.30, 0.35, 0.40, 0.45}) {
-    const double beta_l = SearchParameter(
-        0.05, 32.0, -target, [&](double beta) {
-          auto pub = RunBurel(table, beta);
-          return pub.ok() ? -AverageInfoLoss(*pub) : 1e9;
-        });
-    const double t_m = SearchParameter(
-        0.005, 0.9, -target, [&](double t) {
-          auto pub = Mondrian::ForTCloseness(t).Anonymize(table);
-          return pub.ok() ? -AverageInfoLoss(*pub) : 1e9;
-        });
-    const double t_s = SearchParameter(
-        0.005, 0.9, -target, [&](double t) {
-          auto pub = RunSabre(table, t);
-          return pub.ok() ? -AverageInfoLoss(*pub) : 1e9;
-        });
-    auto pb = RunBurel(table, beta_l);
-    auto pt = Mondrian::ForTCloseness(t_m).Anonymize(table);
-    auto ps = RunSabre(table, t_s);
-    BETALIKE_CHECK(pb.ok() && pt.ok() && ps.ok());
-    out.AddRow({StrFormat("%.2f", target),
-                StrFormat("%.2f", MeasuredBeta(*pb)),
-                StrFormat("%.2f", MeasuredBeta(*pt)),
-                StrFormat("%.2f", MeasuredBeta(*ps))});
+  // AIL falls as beta/t grow, so each search runs on the negated
+  // metric: the largest parameter whose AIL still reaches the target.
+  const auto param_for_ail = [&](const char* scheme, double lo, double hi,
+                                 double target) {
+    return SearchParameter(lo, hi, -target, [&](double param) {
+      return -AverageInfoLoss(bench::Publish(table, {scheme, param}));
+    });
+  };
+  // Targets start at SABRE's reachable AIL floor (~0.1 on CENSUS: its
+  // slab classes pay rare-bucket spread even at a loose t).
+  std::vector<bench::SweepPoint> points;
+  for (double target : {0.10, 0.15, 0.20, 0.25}) {
+    points.push_back(
+        {StrFormat("%.2f", target),
+         table,
+         {{"burel", param_for_ail("burel", 0.05, 32.0, target)},
+          {"tmondrian", param_for_ail("tmondrian", 0.005, 0.9, target)},
+          {"sabre", param_for_ail("sabre", 0.005, 0.9, target)}}});
   }
-  std::printf("%s\n", out.ToString().c_str());
+  RunAilTimeSweep(points, PanelOptions("AIL"));
 }
 
 void Run() {
   bench::PrintHeader(
       "Figure 4: beta-likeness vs t-closeness schemes (equalized privacy)",
       "at equal t or equal AIL, tMondrian and SABRE leave far larger "
-      "real beta (relative confidence gain) than BUREL");
+      "real beta than BUREL, whose AIL at matched privacy stays at or "
+      "below SABRE's");
   auto table = bench::MakeCensus(bench::DefaultRows(), /*qi_prefix=*/3);
   PartA(table);
   PartB(table);

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "metrics/info_loss.h"
+#include "metrics/privacy_audit.h"
 
 namespace betalike {
 namespace bench {
@@ -21,6 +22,16 @@ std::vector<std::string> SchemeNames(
     names.push_back((*scheme)->Name());
   }
   return names;
+}
+
+GeneralizedTable Publish(const std::shared_ptr<const Table>& table,
+                         const AnonymizerSpec& spec) {
+  auto scheme = MakeAnonymizer(spec);
+  BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
+  auto published = (*scheme)->Anonymize(table);
+  BETALIKE_CHECK(published.ok())
+      << (*scheme)->Name() << ": " << published.status().ToString();
+  return std::move(published).value();
 }
 
 std::vector<SchemeRun> RunSchemes(const std::shared_ptr<const Table>& table,
@@ -52,6 +63,16 @@ void RunAilTimeSweep(const std::vector<SweepPoint>& points,
   for (const std::string& name : names) {
     header.push_back(StrFormat("time_s(%s)", name.c_str()));
   }
+  if (options.measured_beta_columns) {
+    for (const std::string& name : names) {
+      header.push_back(StrFormat("realb(%s)", name.c_str()));
+    }
+  }
+  if (options.closeness_columns) {
+    for (const std::string& name : names) {
+      header.push_back(StrFormat("t(%s)", name.c_str()));
+    }
+  }
   if (options.first_scheme_ec_column) {
     header.push_back(StrFormat("ECs(%s)", names.front().c_str()));
   }
@@ -69,6 +90,16 @@ void RunAilTimeSweep(const std::vector<SweepPoint>& points,
     }
     for (const SchemeRun& run : runs) {
       row.push_back(StrFormat("%.3f", run.seconds));
+    }
+    if (options.measured_beta_columns) {
+      for (const SchemeRun& run : runs) {
+        row.push_back(StrFormat("%.2f", MeasuredBeta(run.published)));
+      }
+    }
+    if (options.closeness_columns) {
+      for (const SchemeRun& run : runs) {
+        row.push_back(StrFormat("%.4f", MeasuredCloseness(run.published)));
+      }
     }
     if (options.first_scheme_ec_column) {
       row.push_back(StrFormat("%zu", runs.front().published.num_ecs()));

@@ -29,6 +29,13 @@ inline std::vector<AnonymizerSpec> StandardSpecs(double beta) {
 std::vector<std::string> SchemeNames(
     const std::vector<AnonymizerSpec>& specs);
 
+// Registry-resolved single publication: MakeAnonymizer + Anonymize
+// with CHECK-fail error handling (a bench with a broken scheme should
+// die loudly). The fig4 equalization searches and fig9 release
+// derivations run schemes one at a time through this.
+GeneralizedTable Publish(const std::shared_ptr<const Table>& table,
+                         const AnonymizerSpec& spec);
+
 // One timed Anonymize run of one scheme.
 struct SchemeRun {
   std::string name;  // Anonymizer::Name()
@@ -56,10 +63,17 @@ struct AilTimeSweepOptions {
   std::string x_header;  // "beta" / "QI" / "rows"
   // Appends an "ECs(<first scheme>)" column (Figure 5's panel detail).
   bool first_scheme_ec_column = false;
+  // Appends a "realb(scheme)" column per scheme — the worst relative
+  // confidence gain MeasuredBeta audits, Figure 4's y-axis.
+  bool measured_beta_columns = false;
+  // Appends a "t(scheme)" column per scheme — the achieved closeness
+  // MeasuredCloseness audits, showing Figure 4's equalizations held.
+  bool closeness_columns = false;
 };
 
-// The fig5/6/7 shape: runs every point's schemes and prints the
-// AIL(scheme)... time_s(scheme)... table to stdout.
+// The fig5/6/7 shape (and, with the measured-privacy columns on,
+// fig4's): runs every point's schemes and prints the AIL(scheme)...
+// time_s(scheme)... table to stdout.
 void RunAilTimeSweep(const std::vector<SweepPoint>& points,
                      const AilTimeSweepOptions& options);
 

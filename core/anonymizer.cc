@@ -4,7 +4,9 @@
 #include <map>
 #include <utility>
 
+#include "baseline/anatomy.h"
 #include "baseline/mondrian.h"
+#include "baseline/sabre.h"
 #include "common/string_util.h"
 #include "core/burel.h"
 
@@ -71,6 +73,52 @@ std::unique_ptr<Anonymizer> MakeTMondrian(double t) {
       "tMondrian", Mondrian::ForTCloseness(t));
 }
 
+class SabreAnonymizer : public Anonymizer {
+ public:
+  explicit SabreAnonymizer(double t) { options_.t = t; }
+
+  std::string Name() const override { return "SABRE"; }
+
+  Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const override {
+    return AnonymizeWithSabre(std::move(table), options_);
+  }
+
+ private:
+  SabreOptions options_;
+};
+
+class AnatomyAnonymizer : public Anonymizer {
+ public:
+  explicit AnatomyAnonymizer(double param) : param_(param) {}
+
+  std::string Name() const override { return "Anatomy"; }
+
+  Result<GeneralizedTable> Anonymize(
+      std::shared_ptr<const Table> table) const override {
+    // The bounds also keep the cast below defined (a float-to-int
+    // conversion of an unrepresentable value is UB).
+    if (param_ != std::floor(param_) || param_ < 2.0 || param_ > 1e9) {
+      return Status::InvalidArgument(StrFormat(
+          "anatomy needs an integer l >= 2, got %g", param_));
+    }
+    AnatomyOptions options;  // default seed: registry runs are pinned
+    options.l = static_cast<int>(param_);
+    return AnonymizeWithAnatomy(std::move(table), options);
+  }
+
+ private:
+  double param_;
+};
+
+std::unique_ptr<Anonymizer> MakeSabre(double t) {
+  return std::make_unique<SabreAnonymizer>(t);
+}
+
+std::unique_ptr<Anonymizer> MakeAnatomy(double l) {
+  return std::make_unique<AnatomyAnonymizer>(l);
+}
+
 using Factory = std::unique_ptr<Anonymizer> (*)(double param);
 
 // Explicit registration table (static-initializer self-registration
@@ -78,10 +126,12 @@ using Factory = std::unique_ptr<Anonymizer> (*)(double param);
 // RegisteredSchemes() comes out sorted.
 const std::map<std::string, Factory>& Registry() {
   static const std::map<std::string, Factory> kRegistry = {
+      {"anatomy", &MakeAnatomy},
       {"burel", &MakeBurel},
       {"burel-basic", &MakeBurelBasic},
       {"lmondrian", &MakeLMondrian},
       {"dmondrian", &MakeDMondrian},
+      {"sabre", &MakeSabre},
       {"tmondrian", &MakeTMondrian},
   };
   return kRegistry;

@@ -36,7 +36,8 @@ class Anonymizer {
 // Registry key: a scheme name from RegisteredSchemes() plus the
 // scheme's single privacy parameter — β for "burel"/"burel-basic"
 // (enhanced/basic β-likeness) and "lmondrian", the β that induces
-// δ = ln(1 + β) for "dmondrian", and t for "tmondrian".
+// δ = ln(1 + β) for "dmondrian", t for "tmondrian" and "sabre", and
+// the (integer) l for "anatomy".
 struct AnonymizerSpec {
   std::string scheme;
   double param = 1.0;

@@ -120,6 +120,11 @@ class GeneralizedTable {
       std::vector<std::vector<int64_t>> ec_rows);
 
   const Table& source() const { return *source_; }
+  // The owning handle to the source, for publication views that must
+  // outlive this partition (perturbation copies, Anatomy's QIT).
+  const std::shared_ptr<const Table>& shared_source() const {
+    return source_;
+  }
   int64_t num_rows() const { return source_->num_rows(); }
   size_t num_ecs() const { return ecs_.size(); }
   const EquivalenceClass& ec(size_t i) const { return ecs_[i]; }
@@ -130,6 +135,24 @@ class GeneralizedTable {
 
   std::shared_ptr<const Table> source_;
   std::vector<EquivalenceClass> ecs_;
+};
+
+// Prefix-summed per-equivalence-class SA histograms of a publication,
+// built once so every (class, SA range) lookup is O(1). Shared by the
+// query estimators (uniform-spread and reconstruction paths) and by
+// Anatomy's separate-table view; holds copied counts only, so it stays
+// valid independently of the indexed publication's lifetime.
+class EcSaIndex {
+ public:
+  explicit EcSaIndex(const GeneralizedTable& published);
+
+  // Tuples of class `ec` whose SA value lies in [lo, hi] (inclusive;
+  // clamped to the SA domain).
+  int64_t Count(size_t ec, int32_t lo, int32_t hi) const;
+
+ private:
+  int32_t num_values_ = 0;
+  std::vector<int64_t> prefix_;
 };
 
 }  // namespace betalike

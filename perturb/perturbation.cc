@@ -1,0 +1,63 @@
+#include "perturb/perturbation.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace betalike {
+
+Status ValidatePerturbOptions(const PerturbOptions& options) {
+  if (!std::isfinite(options.retention) || options.retention <= 0.0 ||
+      options.retention > 1.0) {
+    return Status::InvalidArgument(StrFormat(
+        "retention = %f outside (0, 1]", options.retention));
+  }
+  return Status::Ok();
+}
+
+Result<PerturbedPublication> PerturbSaWithinEcs(
+    const GeneralizedTable& published, const PerturbOptions& options) {
+  if (Status s = ValidatePerturbOptions(options); !s.ok()) return s;
+  const Table& source = published.source();
+  const int64_t n = source.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty publication");
+  const uint64_t num_values =
+      static_cast<uint64_t>(source.sa_spec().num_values);
+
+  // One stream, one fixed draw order (ECs in emission order, rows in
+  // EC order; retention coin first, replacement draw only on tails):
+  // the exact-double compare and the rejection-sampled Below are both
+  // platform-pinned, so the output is bit-identical everywhere.
+  Rng rng(options.seed);
+  std::vector<int32_t> perturbed_sa = source.sa_column();
+  for (const EquivalenceClass& ec : published.ecs()) {
+    for (int64_t row : ec.rows) {
+      if (rng.NextDouble() < options.retention) continue;
+      perturbed_sa[row] = static_cast<int32_t>(rng.Below(num_values));
+    }
+  }
+
+  std::vector<std::vector<int32_t>> qi_columns;
+  qi_columns.reserve(source.num_qi());
+  for (int d = 0; d < source.num_qi(); ++d) {
+    qi_columns.push_back(source.qi_column(d));
+  }
+  auto table = Table::Create(source.schema().qi, source.sa_spec(),
+                             std::move(qi_columns), std::move(perturbed_sa));
+  if (!table.ok()) return table.status();
+
+  std::vector<std::vector<int64_t>> ec_rows;
+  ec_rows.reserve(published.num_ecs());
+  for (const EquivalenceClass& ec : published.ecs()) {
+    ec_rows.push_back(ec.rows);
+  }
+  auto view = GeneralizedTable::Create(
+      std::make_shared<Table>(std::move(table).value()), std::move(ec_rows));
+  if (!view.ok()) return view.status();
+  return PerturbedPublication{std::move(view).value(), options.retention};
+}
+
+}  // namespace betalike

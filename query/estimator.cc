@@ -6,25 +6,143 @@
 #include "common/logging.h"
 
 namespace betalike {
+namespace {
+
+// Fraction of `ec`'s box the query's QI predicates cover under uniform
+// spread, counting integer points; 0 when any predicate misses the
+// box.
+double BoxFraction(const EquivalenceClass& ec, const AggregateQuery& query) {
+  double fraction = 1.0;
+  for (const QueryPredicate& p : query.predicates) {
+    const int32_t box_lo = ec.qi_min[p.dim];
+    const int32_t box_hi = ec.qi_max[p.dim];
+    const int32_t lo = std::max(box_lo, p.lo);
+    const int32_t hi = std::min(box_hi, p.hi);
+    if (lo > hi) return 0.0;
+    fraction *= static_cast<double>(hi - lo + 1) /
+                static_cast<double>(box_hi - box_lo + 1);
+  }
+  return fraction;
+}
+
+}  // namespace
 
 double EstimateFromGeneralized(const GeneralizedTable& published,
                                const AggregateQuery& query) {
+  const Table& source = published.source();
   double total = 0.0;
   for (const EquivalenceClass& ec : published.ecs()) {
-    double fraction = 1.0;
-    for (const QueryPredicate& p : query.predicates) {
-      const int32_t box_lo = ec.qi_min[p.dim];
-      const int32_t box_hi = ec.qi_max[p.dim];
-      const int32_t lo = std::max(box_lo, p.lo);
-      const int32_t hi = std::min(box_hi, p.hi);
-      if (lo > hi) {
-        fraction = 0.0;
+    const double fraction = BoxFraction(ec, query);
+    if (fraction == 0.0) continue;
+    double matching = static_cast<double>(ec.size());
+    if (query.has_sa_predicate()) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        const int32_t v = source.sa_value(row);
+        if (v >= query.sa_lo && v <= query.sa_hi) ++count;
+      }
+      matching = static_cast<double>(count);
+    }
+    total += fraction * matching;
+  }
+  return total;
+}
+
+double EstimateFromGeneralized(const GeneralizedTable& published,
+                               const EcSaIndex& index,
+                               const AggregateQuery& query) {
+  double total = 0.0;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    const double fraction = BoxFraction(ec, query);
+    if (fraction == 0.0) continue;
+    const double matching =
+        query.has_sa_predicate()
+            ? static_cast<double>(index.Count(e, query.sa_lo, query.sa_hi))
+            : static_cast<double>(ec.size());
+    total += fraction * matching;
+  }
+  return total;
+}
+
+double EstimateFromAnatomized(const AnatomizedTable& anatomized,
+                              const AggregateQuery& query) {
+  const Table& source = anatomized.source();
+  const int64_t n = source.num_rows();
+
+  // Group-level SA fractions once per query, then one predicate scan
+  // over the exact QIT columns; matching rows contribute their group's
+  // fraction. Without an SA predicate the fractions are all 1 and the
+  // estimate collapses to the exact count.
+  std::vector<double> group_fraction;
+  if (query.has_sa_predicate()) {
+    group_fraction.reserve(anatomized.num_groups());
+    for (size_t g = 0; g < anatomized.num_groups(); ++g) {
+      group_fraction.push_back(
+          static_cast<double>(
+              anatomized.GroupSaCount(g, query.sa_lo, query.sa_hi)) /
+          static_cast<double>(anatomized.group_size(g)));
+    }
+  }
+
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  preds.reserve(query.predicates.size());
+  for (const QueryPredicate& p : query.predicates) {
+    preds.push_back({source.qi_column(p.dim).data(), p.lo, p.hi});
+  }
+
+  double total = 0.0;
+  for (int64_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const FlatPredicate& p : preds) {
+      const int32_t v = p.column[row];
+      if (v < p.lo || v > p.hi) {
+        match = false;
         break;
       }
-      fraction *= static_cast<double>(hi - lo + 1) /
-                  static_cast<double>(box_hi - box_lo + 1);
     }
-    total += fraction * static_cast<double>(ec.size());
+    if (!match) continue;
+    total += group_fraction.empty()
+                 ? 1.0
+                 : group_fraction[anatomized.group_of_row(row)];
+  }
+  return total;
+}
+
+double EstimateFromPerturbed(const PerturbedPublication& perturbed,
+                             const EcSaIndex& index,
+                             const AggregateQuery& query) {
+  const GeneralizedTable& published = perturbed.view;
+  const int32_t num_values = published.source().sa_spec().num_values;
+  double width = 0.0;
+  if (query.has_sa_predicate()) {
+    const int32_t lo = std::max(query.sa_lo, 0);
+    const int32_t hi = std::min(query.sa_hi, num_values - 1);
+    if (lo > hi) return 0.0;
+    width = static_cast<double>(hi - lo + 1);
+  }
+
+  double total = 0.0;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    const double fraction = BoxFraction(ec, query);
+    if (fraction == 0.0) continue;
+    const double size = static_cast<double>(ec.size());
+    double matching = size;
+    if (query.has_sa_predicate()) {
+      const double noisy =
+          static_cast<double>(index.Count(e, query.sa_lo, query.sa_hi));
+      const double expected_noise = size * (1.0 - perturbed.retention) *
+                                    width / static_cast<double>(num_values);
+      matching = std::clamp((noisy - expected_noise) / perturbed.retention,
+                            0.0, size);
+    }
+    total += fraction * matching;
   }
   return total;
 }

@@ -1,9 +1,19 @@
-// COUNT(*) estimation from a generalized publication (§6.2): the data
-// recipient only sees equivalence-class boxes, so each class answers a
-// query with its size times the fraction of its box that the query
-// covers — the standard uniform-spread assumption. Workload-level
-// accuracy is aggregated as median relative error, the paper's Figure 8
-// metric.
+// COUNT(*) estimation from anonymized publications (§6.2–6.3): the
+// data recipient answers aggregate queries from what each scheme
+// publishes instead of the raw microdata.
+//
+//   - Generalized tables (BUREL, Mondrian, SABRE): each equivalence
+//     class answers with its matching-SA tuple count times the
+//     fraction of its QI box the query covers — the standard
+//     uniform-spread assumption (Figure 8's estimator, now SA-aware).
+//   - Anatomy: exact QI values, group-level SA histograms — matching
+//     rows contribute their group's matching-SA fraction (Figure 9).
+//   - Perturbed publications: uniform spread over the boxes plus
+//     reconstruction — the randomized response is inverted in
+//     expectation before counting (Figure 9).
+//
+// Workload-level accuracy is aggregated as median relative error, the
+// paper's Figures 8/9 metric.
 #ifndef BETALIKE_QUERY_ESTIMATOR_H_
 #define BETALIKE_QUERY_ESTIMATOR_H_
 
@@ -11,16 +21,43 @@
 #include <functional>
 #include <vector>
 
+#include "baseline/anatomy.h"
 #include "data/table.h"
+#include "perturb/perturbation.h"
 #include "query/workload.h"
 
 namespace betalike {
 
 // Uniform-spread estimate of `query`'s count over `published`: every
-// equivalence class contributes size(EC) * Π_d |box_d ∩ range_d| /
-// |box_d| over the query's predicates, counting integer points.
+// equivalence class contributes its count of tuples matching the SA
+// predicate (all tuples when there is none) times Π_d
+// |box_d ∩ range_d| / |box_d| over the query's QI predicates, counting
+// integer points. This overload recounts SA matches by scanning each
+// class's rows — the reference path; benches use the indexed overload.
 double EstimateFromGeneralized(const GeneralizedTable& published,
                                const AggregateQuery& query);
+
+// As above with the SA range counts taken from `index` (which must be
+// built over `published`).
+double EstimateFromGeneralized(const GeneralizedTable& published,
+                               const EcSaIndex& index,
+                               const AggregateQuery& query);
+
+// Anatomy estimate: rows matching the QI predicates are counted
+// exactly (QIT publishes exact QI values), each contributing the
+// fraction of its group's SA histogram that matches the SA predicate
+// (1 when there is none, which makes the estimate exact).
+double EstimateFromAnatomized(const AnatomizedTable& anatomized,
+                              const AggregateQuery& query);
+
+// Perturbed-publication estimate: uniform spread over the boxes of
+// `perturbed.view`, with each class's SA range count reconstructed
+// from the perturbed counts — ĉ = (ñ - n (1 - ρ) w / |SA|) / ρ for a
+// range covering w of |SA| values, clamped to [0, n]. `index` must be
+// built over `perturbed.view`.
+double EstimateFromPerturbed(const PerturbedPublication& perturbed,
+                             const EcSaIndex& index,
+                             const AggregateQuery& query);
 
 // Accuracy aggregate of one (publication, workload) evaluation. Errors
 // are percentages: 100 * |estimate - truth| / max(truth, 1), with the

@@ -14,6 +14,10 @@ bool AggregateQuery::Matches(const Table& table, int64_t row) const {
     const int32_t v = table.qi_value(row, p.dim);
     if (v < p.lo || v > p.hi) return false;
   }
+  if (has_sa_predicate()) {
+    const int32_t v = table.sa_value(row);
+    if (v < sa_lo || v > sa_hi) return false;
+  }
   return true;
 }
 
@@ -32,6 +36,10 @@ Status ValidateWorkloadOptions(const TableSchema& schema,
       options.selectivity > 1.0) {
     return Status::InvalidArgument(StrFormat(
         "selectivity = %g outside (0, 1]", options.selectivity));
+  }
+  if (options.include_sa && schema.sa.num_values < 1) {
+    return Status::InvalidArgument(
+        "include_sa needs a non-empty SA domain");
   }
   return Status::Ok();
 }
@@ -84,6 +92,9 @@ Result<std::vector<AggregateQuery>> GenerateWorkload(
   Rng rng(options.seed);
   std::vector<int> dims(schema.num_qi());
   for (int d = 0; d < schema.num_qi(); ++d) dims[d] = d;
+  // With the SA predicate the selectivity composes over one more
+  // range, so every per-attribute length uses the λ + 1 root.
+  const int num_predicates = options.lambda + (options.include_sa ? 1 : 0);
 
   std::vector<AggregateQuery> workload;
   workload.reserve(options.num_queries);
@@ -100,10 +111,18 @@ Result<std::vector<AggregateQuery>> GenerateWorkload(
       const QiSpec& spec = schema.qi[dims[i]];
       const int64_t domain = spec.extent() + 1;  // integer points
       const int64_t len =
-          TargetRangeLength(domain, options.lambda, options.selectivity);
+          TargetRangeLength(domain, num_predicates, options.selectivity);
       const int64_t start = rng.Uniform(spec.lo, spec.lo + domain - len);
       query.predicates.push_back({dims[i], static_cast<int32_t>(start),
                                   static_cast<int32_t>(start + len - 1)});
+    }
+    if (options.include_sa) {
+      const int64_t domain = schema.sa.num_values;
+      const int64_t len =
+          TargetRangeLength(domain, num_predicates, options.selectivity);
+      const int64_t start = rng.Uniform(0, domain - len);
+      query.sa_lo = static_cast<int32_t>(start);
+      query.sa_hi = static_cast<int32_t>(start + len - 1);
     }
     // Canonical attribute order, independent of the draw order.
     std::sort(query.predicates.begin(), query.predicates.end(),
@@ -132,6 +151,10 @@ std::vector<int64_t> PreciseCounts(
     preds.clear();
     for (const QueryPredicate& p : query.predicates) {
       preds.push_back({table.qi_column(p.dim).data(), p.lo, p.hi});
+    }
+    if (query.has_sa_predicate()) {
+      // The SA column scans exactly like one more range predicate.
+      preds.push_back({table.sa_column().data(), query.sa_lo, query.sa_hi});
     }
     int64_t count = 0;
     for (int64_t row = 0; row < n; ++row) {

@@ -24,9 +24,19 @@ struct QueryPredicate {
 };
 
 // COUNT(*) over a conjunction of range predicates on distinct QI
-// attributes (λ = predicates.size() in the paper's Figure 8a).
+// attributes (λ = predicates.size() in the paper's Figure 8a), plus an
+// optional range predicate on the sensitive attribute. SA-involving
+// queries are what separate the Figure 9 schemes: a publication with
+// exact QIs but broken QI-SA linkage (Anatomy, perturbation) answers
+// QI-only queries exactly yet errs on these.
 struct AggregateQuery {
   std::vector<QueryPredicate> predicates;
+  // SA range [sa_lo, sa_hi], inclusive; the default empty range means
+  // no SA predicate.
+  int32_t sa_lo = 0;
+  int32_t sa_hi = -1;
+
+  bool has_sa_predicate() const { return sa_lo <= sa_hi; }
 
   // True iff `row` of `table` satisfies every predicate.
   bool Matches(const Table& table, int64_t row) const;
@@ -34,12 +44,18 @@ struct AggregateQuery {
 
 struct WorkloadOptions {
   int num_queries = 1000;
-  // Number of predicates per query (λ); must not exceed the QI count.
+  // Number of QI predicates per query (λ); must not exceed the QI
+  // count.
   int lambda = 2;
-  // Target selectivity θ in (0, 1]: the fraction of the QI domain
-  // volume each query covers. Each predicate spans a θ^(1/λ) fraction
-  // of its attribute's domain, so the λ ranges compose to θ.
+  // Target selectivity θ in (0, 1]: the fraction of the domain volume
+  // each query covers. Each predicate spans a θ^(1/p) fraction of its
+  // attribute's domain — p = λ, or λ + 1 with the SA predicate — so
+  // the ranges compose to θ.
   double selectivity = 0.1;
+  // When set, every query also carries an SA range predicate (the
+  // Figure 9 workloads). Off by default: the Figure 8 workloads and
+  // their pinned shapes are generated draw-for-draw unchanged.
+  bool include_sa = false;
   uint64_t seed = 1;
 };
 

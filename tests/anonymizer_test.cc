@@ -11,7 +11,9 @@
 #include <set>
 #include <utility>
 
+#include "baseline/anatomy.h"
 #include "baseline/mondrian.h"
+#include "baseline/sabre.h"
 #include "census/census.h"
 #include "core/burel.h"
 #include "metrics/privacy_audit.h"
@@ -30,24 +32,53 @@ std::shared_ptr<const Table> SmallCensus() {
   return std::make_shared<Table>(std::move(prefixed).value());
 }
 
-// The scheme's parameter for round-trip runs: a t for tmondrian, a β
-// for everything else.
+// The scheme's parameter for round-trip runs: a t for the t-closeness
+// schemes, an l for anatomy, a β for everything else.
 double ParamFor(const std::string& scheme) {
-  return scheme == "tmondrian" ? 0.3 : 2.0;
+  if (scheme == "tmondrian" || scheme == "sabre") return 0.3;
+  if (scheme == "anatomy") return 4.0;
+  return 2.0;
 }
 
 TEST(AnonymizerRegistry, ListsAllSchemesSorted) {
   const std::vector<std::string> schemes = RegisteredSchemes();
   const std::vector<std::string> expected = {
-      "burel", "burel-basic", "dmondrian", "lmondrian", "tmondrian"};
+      "anatomy", "burel", "burel-basic", "dmondrian", "lmondrian", "sabre",
+      "tmondrian"};
   EXPECT_TRUE(schemes == expected);
   EXPECT_TRUE(std::is_sorted(schemes.begin(), schemes.end()));
 }
 
 TEST(AnonymizerRegistry, UnknownSchemeIsNotFound) {
-  auto scheme = MakeAnonymizer({"sabre", 1.0});
+  // "sabre" was the not-found probe before PR 4 made it a real scheme;
+  // the never-valid name keeps this regression honest.
+  auto scheme = MakeAnonymizer({"no-such-scheme", 1.0});
   ASSERT_FALSE(scheme.ok());
   EXPECT_EQ(scheme.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AnonymizerRegistry, NewBaselinesResolveByName) {
+  const std::vector<std::string> schemes = RegisteredSchemes();
+  for (const char* name : {"sabre", "anatomy"}) {
+    EXPECT_TRUE(std::find(schemes.begin(), schemes.end(), name) !=
+                schemes.end());
+    auto scheme = MakeAnonymizer({name, ParamFor(name)});
+    ASSERT_OK(scheme);
+  }
+  EXPECT_EQ((*MakeAnonymizer({"sabre", 0.3}))->Name(), std::string("SABRE"));
+  EXPECT_EQ((*MakeAnonymizer({"anatomy", 4.0}))->Name(),
+            std::string("Anatomy"));
+  // Anatomy's parameter is the integer l: fractional or out-of-range
+  // values fail at Anonymize time with InvalidArgument (the range
+  // check also keeps the float-to-int cast defined).
+  auto table = SmallCensus();
+  for (const double param : {2.5, -1e10, 1e12}) {
+    auto scheme = MakeAnonymizer({"anatomy", param});
+    if (!scheme.ok()) continue;  // negative params die in the registry
+    auto published = (*scheme)->Anonymize(table);
+    ASSERT_FALSE(published.ok());
+    EXPECT_EQ(published.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(AnonymizerRegistry, RejectsBadParameters) {
@@ -123,6 +154,16 @@ TEST(AnonymizerRegistry, InterfaceIsDecisionIdenticalToDirectApis) {
                               via_interface({"dmondrian", 2.0}));
   ExpectIdenticalPublications(*Mondrian::ForTCloseness(0.3).Anonymize(table),
                               via_interface({"tmondrian", 0.3}));
+
+  SabreOptions sabre;
+  sabre.t = 0.3;
+  ExpectIdenticalPublications(*AnonymizeWithSabre(table, sabre),
+                              via_interface({"sabre", 0.3}));
+
+  AnatomyOptions anatomy;  // the registry runs on the default seed
+  anatomy.l = 4;
+  ExpectIdenticalPublications(*AnonymizeWithAnatomy(table, anatomy),
+                              via_interface({"anatomy", 4.0}));
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// Brute-force t-closeness cross-check (the SABRE wall, mirroring
+// tests/beta_verify_test.cc): an O(n * |SA|) verifier that recomputes
+// every equivalence class's variational-distance EMD from first
+// principles — no shared helpers with the formation — run over SABRE's
+// output on randomized small tables and the CENSUS sample, and
+// cross-validated against MeasuredCloseness. If the slab apportionment
+// or the class-count back-off ever emits a class beyond its bound,
+// this wall catches it.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/sabre.h"
+#include "census/census.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+// Slack for the verifier's freshly-computed distances against bounds
+// the formation enforced through its own floating arithmetic.
+constexpr double kSlack = 1e-9;
+
+struct NaiveAudit {
+  bool satisfies = false;  // every EC stays within distance t
+  double closeness = 0.0;  // worst variational distance found
+  std::string violation;   // first offending EC, for the log
+};
+
+// The O(n * |SA|) recount: each class is scanned once per SA value and
+// its EMD rebuilt from the definition.
+NaiveAudit NaiveVerify(const GeneralizedTable& published, double t) {
+  const Table& source = published.source();
+  const int64_t n = source.num_rows();
+  std::vector<int64_t> totals(source.sa_spec().num_values, 0);
+  for (int64_t row = 0; row < n; ++row) ++totals[source.sa_value(row)];
+
+  NaiveAudit audit;
+  audit.satisfies = true;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    double distance = 0.0;
+    for (int32_t v = 0; v < source.sa_spec().num_values; ++v) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        if (source.sa_value(row) == v) ++count;
+      }
+      const double q = static_cast<double>(count) /
+                       static_cast<double>(ec.size());
+      const double p =
+          static_cast<double>(totals[v]) / static_cast<double>(n);
+      distance += std::fabs(q - p);
+    }
+    distance *= 0.5;
+    audit.closeness = std::max(audit.closeness, distance);
+    if (distance > t + kSlack) {
+      if (audit.satisfies) {
+        audit.violation = StrFormat("ec %zu: EMD=%f > t=%f", e, distance, t);
+      }
+      audit.satisfies = false;
+    }
+  }
+  return audit;
+}
+
+Table RandomTable(Rng* rng) {
+  const int dims = static_cast<int>(rng->Uniform(1, 3));
+  const int64_t rows = rng->Uniform(20, 300);
+  std::vector<QiSpec> qi_schema(dims);
+  std::vector<std::vector<int32_t>> qi_columns(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t lo = static_cast<int32_t>(rng->Uniform(-20, 20));
+    const int32_t hi = lo + static_cast<int32_t>(rng->Uniform(0, 12));
+    qi_schema[d] = {"Q" + std::to_string(d), lo, hi};
+    qi_columns[d].reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      qi_columns[d].push_back(static_cast<int32_t>(rng->Uniform(lo, hi)));
+    }
+  }
+  // Skewed SA draw: low codes are much more frequent, exercising both
+  // singleton buckets (dominant values) and packed rare-value buckets.
+  const int32_t sa_values = static_cast<int32_t>(rng->Uniform(2, 6));
+  std::vector<int32_t> sa(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    sa[i] = static_cast<int32_t>(
+        rng->Below(static_cast<uint64_t>(rng->Below(sa_values)) + 1));
+  }
+  auto table = Table::Create(std::move(qi_schema), {"SA", sa_values},
+                             std::move(qi_columns), std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(NaiveClosenessVerify, AcceptsSabreOnRandomizedTables) {
+  Rng rng(777);
+  for (int round = 0; round < 25; ++round) {
+    auto table = std::make_shared<Table>(RandomTable(&rng));
+    for (const double t : {0.1, 0.2, 0.4}) {
+      SabreOptions options;
+      options.t = t;
+      auto published = AnonymizeWithSabre(table, options);
+      ASSERT_OK(published);
+      const NaiveAudit audit = NaiveVerify(*published, t);
+      EXPECT_TRUE(audit.satisfies);
+      if (!audit.satisfies) {
+        BETALIKE_LOG(ERROR) << "round " << round << " t " << t << ": "
+                            << audit.violation;
+      }
+      // The recounted worst distance must equal the audited metric.
+      EXPECT_NEAR(audit.closeness, MeasuredCloseness(*published), 1e-12);
+      EXPECT_LE(audit.closeness, t + kSlack);
+    }
+  }
+}
+
+TEST(NaiveClosenessVerify, AcceptsSabreOnCensus) {
+  CensusOptions census;
+  census.num_rows = 2000;
+  auto generated = GenerateCensus(census);
+  ASSERT_OK(generated);
+  auto prefixed = generated->WithQiPrefix(3);
+  ASSERT_OK(prefixed);
+  auto table = std::make_shared<Table>(std::move(prefixed).value());
+  for (const double t : {0.1, 0.3}) {
+    SabreOptions options;
+    options.t = t;
+    auto published = AnonymizeWithSabre(table, options);
+    ASSERT_OK(published);
+    const NaiveAudit audit = NaiveVerify(*published, t);
+    EXPECT_TRUE(audit.satisfies);
+    EXPECT_NEAR(audit.closeness, MeasuredCloseness(*published), 1e-12);
+    // A non-trivial publication: the budget actually buys several
+    // classes, not one catch-all.
+    EXPECT_GT(published->num_ecs(), 1u);
+  }
+}
+
+// A budget far below what any partition can satisfy degrades to the
+// one catch-all class (distance 0) instead of overflowing the class
+// count arithmetic.
+TEST(NaiveClosenessVerify, TinyBudgetYieldsOneExactClass) {
+  Rng rng(15);
+  auto table = std::make_shared<Table>(RandomTable(&rng));
+  SabreOptions options;
+  options.t = 1e-18;
+  auto published = AnonymizeWithSabre(table, options);
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 1u);
+  EXPECT_NEAR(MeasuredCloseness(*published), 0.0, 1e-12);
+}
+
+// The verifier itself must reject an infeasible publication: a class
+// holding only the rare value sits at distance ~0.8 from the overall
+// distribution.
+TEST(NaiveClosenessVerify, RejectsHandBuiltViolation) {
+  std::vector<int32_t> qi = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int32_t> sa = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1};
+  auto table = Table::Create({{"A", 0, 9}}, {"SA", 2}, {qi}, sa);
+  ASSERT_OK(table);
+  auto shared = std::make_shared<Table>(std::move(table).value());
+  auto published = GeneralizedTable::Create(
+      shared, {{0, 1, 2, 3, 4, 5, 6, 7}, {8, 9}});
+  ASSERT_OK(published);
+  const NaiveAudit audit = NaiveVerify(*published, 0.2);
+  EXPECT_FALSE(audit.satisfies);
+  // The {8, 9} class is pure value 1: EMD = 0.5 (|1 - 0.2| + |0 - 0.8|).
+  EXPECT_NEAR(audit.closeness, 0.8, 1e-12);
+}
+
+// Bucketization invariants behind the formation's budget split: every
+// bucket's worst-case intra spread stays within t/4 and the spreads
+// sum within t/2, and the buckets partition exactly the values with
+// positive frequency.
+TEST(SabreBucketize, RespectsEmdBudgets) {
+  Rng rng(991);
+  for (int round = 0; round < 50; ++round) {
+    const int32_t values = static_cast<int32_t>(rng.Uniform(1, 12));
+    std::vector<double> freqs(values, 0.0);
+    double total = 0.0;
+    for (int32_t v = 0; v < values; ++v) {
+      freqs[v] = rng.Below(4) == 0 ? 0.0 : rng.NextDouble();
+      total += freqs[v];
+    }
+    if (total == 0.0) {
+      freqs[0] = total = 1.0;
+    }
+    for (double& f : freqs) f /= total;
+    const double t = 0.05 + 0.5 * rng.NextDouble();
+
+    const auto buckets = SabreBucketizeSaValues(freqs, t);
+    std::vector<int> seen(values, 0);
+    double intra_sum = 0.0;
+    for (const auto& bucket : buckets) {
+      EXPECT_FALSE(bucket.empty());
+      double bucket_total = 0.0;
+      double bucket_min = 1.0;
+      for (int32_t v : bucket) {
+        ++seen[v];
+        EXPECT_GT(freqs[v], 0.0);
+        bucket_total += freqs[v];
+        bucket_min = std::min(bucket_min, freqs[v]);
+      }
+      const double intra = bucket_total - bucket_min;
+      EXPECT_LE(intra, t / 4.0 + kSlack);
+      intra_sum += intra;
+    }
+    EXPECT_LE(intra_sum, t / 2.0 + kSlack);
+    for (int32_t v = 0; v < values; ++v) {
+      EXPECT_EQ(seen[v], freqs[v] > 0.0 ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace betalike

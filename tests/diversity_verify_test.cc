@@ -1,0 +1,225 @@
+// Brute-force l-diversity cross-check (the Anatomy wall, mirroring
+// tests/beta_verify_test.cc): an O(n * |SA|) counter that re-derives
+// every group's SA composition from first principles — no shared
+// helpers with the formation — and checks Anatomy's invariants: at
+// least l distinct values per group, each value at most once per group
+// (so no value exceeds a 1/l share). Run over randomized tables, where
+// ineligible draws must fail with the matching precondition, and over
+// the CENSUS sample; the separate-table view's histograms are
+// cross-checked against the same recount.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/anatomy.h"
+#include "census/census.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+struct NaiveAudit {
+  bool satisfies = false;    // every group obeys both invariants
+  int64_t min_distinct = 0;  // fewest distinct SA values in any group
+  int64_t max_repeat = 0;    // most copies of one value in one group
+  std::string violation;     // first offending group, for the log
+};
+
+// The O(n * |SA|) recount: each group is scanned once per SA value.
+NaiveAudit NaiveVerify(const GeneralizedTable& published, int64_t l) {
+  const Table& source = published.source();
+  NaiveAudit audit;
+  audit.satisfies = true;
+  audit.min_distinct = source.num_rows();
+  for (size_t g = 0; g < published.num_ecs(); ++g) {
+    const EquivalenceClass& ec = published.ec(g);
+    int64_t distinct = 0;
+    int64_t worst = 0;
+    for (int32_t v = 0; v < source.sa_spec().num_values; ++v) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        if (source.sa_value(row) == v) ++count;
+      }
+      if (count > 0) ++distinct;
+      worst = std::max(worst, count);
+    }
+    audit.min_distinct = std::min(audit.min_distinct, distinct);
+    audit.max_repeat = std::max(audit.max_repeat, worst);
+    if (distinct < l || worst > 1) {
+      if (audit.satisfies) {
+        audit.violation = StrFormat(
+            "group %zu: %lld distinct values, worst repeat %lld (l=%lld)",
+            g, static_cast<long long>(distinct),
+            static_cast<long long>(worst), static_cast<long long>(l));
+      }
+      audit.satisfies = false;
+    }
+  }
+  return audit;
+}
+
+// True iff `table` is Anatomy-eligible at l: no SA value above a 1/l
+// share — recounted independently of the formation's check.
+bool Eligible(const Table& table, int64_t l) {
+  std::vector<int64_t> totals(table.sa_spec().num_values, 0);
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    ++totals[table.sa_value(row)];
+  }
+  for (int64_t count : totals) {
+    if (count * l > table.num_rows()) return false;
+  }
+  return table.num_rows() >= l;
+}
+
+Table RandomTable(Rng* rng) {
+  const int dims = static_cast<int>(rng->Uniform(1, 3));
+  const int64_t rows = rng->Uniform(20, 300);
+  std::vector<QiSpec> qi_schema(dims);
+  std::vector<std::vector<int32_t>> qi_columns(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t lo = static_cast<int32_t>(rng->Uniform(-20, 20));
+    const int32_t hi = lo + static_cast<int32_t>(rng->Uniform(0, 12));
+    qi_schema[d] = {"Q" + std::to_string(d), lo, hi};
+    qi_columns[d].reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      qi_columns[d].push_back(static_cast<int32_t>(rng->Uniform(lo, hi)));
+    }
+  }
+  // Near-uniform SA draw over 4-9 values: usually eligible for small
+  // l, with occasional skewed draws exercising the failure path.
+  const int32_t sa_values = static_cast<int32_t>(rng->Uniform(4, 9));
+  std::vector<int32_t> sa(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    sa[i] = static_cast<int32_t>(rng->Below(sa_values));
+  }
+  auto table = Table::Create(std::move(qi_schema), {"SA", sa_values},
+                             std::move(qi_columns), std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+TEST(NaiveDiversityVerify, AcceptsAnatomyOnRandomizedTables) {
+  Rng rng(31337);
+  int published_rounds = 0;
+  for (int round = 0; round < 25; ++round) {
+    auto table = std::make_shared<Table>(RandomTable(&rng));
+    for (const int l : {2, 3, 4}) {
+      AnatomyOptions options;
+      options.l = l;
+      options.seed = 100 + static_cast<uint64_t>(round);
+      auto published = AnonymizeWithAnatomy(table, options);
+      if (!Eligible(*table, l)) {
+        // An ineligible draw must be refused, not silently broken.
+        ASSERT_FALSE(published.ok());
+        EXPECT_EQ(published.status().code(),
+                  StatusCode::kFailedPrecondition);
+        continue;
+      }
+      ASSERT_OK(published);
+      ++published_rounds;
+      EXPECT_EQ(published->num_rows(), table->num_rows());
+      const NaiveAudit audit = NaiveVerify(*published, l);
+      EXPECT_TRUE(audit.satisfies);
+      if (!audit.satisfies) {
+        BETALIKE_LOG(ERROR) << "round " << round << " l " << l << ": "
+                            << audit.violation;
+      }
+      EXPECT_GE(audit.min_distinct, l);
+      EXPECT_LE(audit.max_repeat, 1);
+    }
+  }
+  // The generator must actually exercise the success path.
+  EXPECT_GT(published_rounds, 25);
+}
+
+TEST(NaiveDiversityVerify, AcceptsAnatomyOnCensus) {
+  CensusOptions census;
+  census.num_rows = 2000;
+  auto generated = GenerateCensus(census);
+  ASSERT_OK(generated);
+  auto prefixed = generated->WithQiPrefix(3);
+  ASSERT_OK(prefixed);
+  auto table = std::make_shared<Table>(std::move(prefixed).value());
+  for (const int l : {2, 4}) {
+    AnatomyOptions options;
+    options.l = l;
+    auto published = AnonymizeWithAnatomy(table, options);
+    ASSERT_OK(published);
+    const NaiveAudit audit = NaiveVerify(*published, l);
+    EXPECT_TRUE(audit.satisfies);
+    // Groups are as small as the model allows: l or l + 1 tuples.
+    for (size_t g = 0; g < published->num_ecs(); ++g) {
+      EXPECT_GE(published->ec(g).size(), l);
+      EXPECT_LE(published->ec(g).size(), 2 * l);
+    }
+  }
+}
+
+// The verifier itself must reject hand-built violations of either
+// invariant: a repeated value, and too few distinct values.
+TEST(NaiveDiversityVerify, RejectsHandBuiltViolations) {
+  std::vector<int32_t> qi = {0, 1, 2, 3, 4, 5};
+  std::vector<int32_t> sa = {0, 0, 1, 2, 1, 2};
+  auto table = Table::Create({{"A", 0, 5}}, {"SA", 3}, {qi}, sa);
+  ASSERT_OK(table);
+  auto shared = std::make_shared<Table>(std::move(table).value());
+
+  // Group {0, 1} repeats value 0 and holds one distinct value.
+  auto repeat = GeneralizedTable::Create(shared, {{0, 1}, {2, 3, 4, 5}});
+  ASSERT_OK(repeat);
+  const NaiveAudit repeat_audit = NaiveVerify(*repeat, 2);
+  EXPECT_FALSE(repeat_audit.satisfies);
+  EXPECT_EQ(repeat_audit.max_repeat, 2);
+
+  // All groups distinct-valued but too small for l = 3.
+  auto shallow = GeneralizedTable::Create(shared, {{0, 2}, {1, 3}, {4, 5}});
+  ASSERT_OK(shallow);
+  EXPECT_TRUE(NaiveVerify(*shallow, 2).satisfies);
+  EXPECT_FALSE(NaiveVerify(*shallow, 3).satisfies);
+}
+
+// The separate-table view must agree with a row-by-row recount: group
+// ids cover the partition and the ST histograms match.
+TEST(AnatomizedView, MatchesBruteForceRecount) {
+  CensusOptions census;
+  census.num_rows = 1000;
+  auto generated = GenerateCensus(census);
+  ASSERT_OK(generated);
+  auto table = std::make_shared<Table>(std::move(generated).value());
+  AnatomyOptions options;
+  options.l = 3;
+  auto published = AnonymizeWithAnatomy(table, options);
+  ASSERT_OK(published);
+
+  const AnatomizedTable view = AnatomizedTable::FromGrouping(*published);
+  ASSERT_EQ(view.num_groups(), published->num_ecs());
+  EXPECT_EQ(view.num_rows(), table->num_rows());
+  for (size_t g = 0; g < published->num_ecs(); ++g) {
+    const EquivalenceClass& ec = published->ec(g);
+    EXPECT_EQ(view.group_size(g), ec.size());
+    int64_t total = 0;
+    for (int32_t v = 0; v < table->sa_spec().num_values; ++v) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        if (table->sa_value(row) == v) ++count;
+      }
+      EXPECT_EQ(view.GroupSaCount(g, v, v), count);
+      total += count;
+    }
+    EXPECT_EQ(view.GroupSaCount(g, 0, table->sa_spec().num_values - 1),
+              total);
+    for (int64_t row : ec.rows) {
+      EXPECT_EQ(view.group_of_row(row), static_cast<int32_t>(g));
+    }
+  }
+  // Out-of-domain ranges clamp instead of reading out of bounds.
+  EXPECT_EQ(view.GroupSaCount(0, -5, -1), 0);
+  EXPECT_EQ(view.GroupSaCount(0, 1000, 2000), 0);
+}
+
+}  // namespace
+}  // namespace betalike

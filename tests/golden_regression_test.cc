@@ -10,12 +10,15 @@
 #include <string>
 #include <utility>
 
+#include "baseline/anatomy.h"
 #include "baseline/mondrian.h"
+#include "baseline/sabre.h"
 #include "census/census.h"
 #include "core/anonymizer.h"
 #include "core/burel.h"
 #include "metrics/info_loss.h"
 #include "metrics/privacy_audit.h"
+#include "perturb/perturbation.h"
 #include "tests/betalike_test.h"
 
 namespace betalike {
@@ -55,6 +58,8 @@ constexpr GoldenCase kGoldenCases[] = {
     {"lmondrian", 4.0, 89, 0.081778287841191, 3.977600796416128},
     {"dmondrian", 4.0, 10, 0.312653349875931, 1.683043167183401},
     {"tmondrian", 0.2, 50, 0.111160463192721, 5.002400960384153},
+    {"sabre", 0.2, 62, 0.460948014888337, 5.172839506172839},
+    {"anatomy", 4.0, 2500, 0.607293465674112, 66.567567567567565},
 };
 
 const GoldenCase& Golden(const char* scheme, double param) {
@@ -110,6 +115,20 @@ TEST(GoldenRegression, TMondrianT02) {
                Golden("tmondrian", 0.2));
 }
 
+TEST(GoldenRegression, SabreT02) {
+  SabreOptions options;
+  options.t = 0.2;
+  ExpectGolden(AnonymizeWithSabre(GoldenTable(10000), options),
+               Golden("sabre", 0.2));
+}
+
+TEST(GoldenRegression, AnatomyL4) {
+  AnatomyOptions options;  // default seed, as the registry runs it
+  options.l = 4;
+  ExpectGolden(AnonymizeWithAnatomy(GoldenTable(10000), options),
+               Golden("anatomy", 4.0));
+}
+
 // FNV-1a hash over the exact equivalence-class structure (sizes and
 // member rows, in emission order).
 uint64_t EcStructureHash(const GeneralizedTable& published) {
@@ -138,6 +157,60 @@ TEST(GoldenRegression, BurelEcStructureHash100k) {
   EXPECT_EQ(published->num_ecs(), 1255u);
   EXPECT_NEAR(AverageInfoLoss(*published), 0.006109627791563, kTolerance);
   EXPECT_EQ(EcStructureHash(*published), 0x21a40b92ecfa8985ULL);
+}
+
+// The new baselines get the same 100K bitwise pin BUREL has: SABRE's
+// slab apportionment and Anatomy's seeded draws must take identical
+// decisions on every platform.
+TEST(GoldenRegression, SabreEcStructureHash100k) {
+  SabreOptions options;
+  options.t = 0.2;
+  auto published = AnonymizeWithSabre(GoldenTable(100000), options);
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 602u);
+  EXPECT_NEAR(AverageInfoLoss(*published), 0.243548606286187, kTolerance);
+  EXPECT_EQ(EcStructureHash(*published), 0x0956d310c992ff0fULL);
+}
+
+TEST(GoldenRegression, AnatomyEcStructureHash100k) {
+  AnatomyOptions options;
+  options.l = 4;
+  auto published = AnonymizeWithAnatomy(GoldenTable(100000), options);
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), 25000u);
+  EXPECT_NEAR(AverageInfoLoss(*published), 0.607798345740281, kTolerance);
+  EXPECT_EQ(EcStructureHash(*published), 0xbab61910259afc8bULL);
+}
+
+// Perturbation determinism across platforms: the seeded randomized
+// response over BUREL's 10K publication must resample the SA column
+// bit-identically everywhere (all draws go through the platform-pinned
+// Rng; no libm calls whose ULPs could differ) — pinned as an FNV-1a
+// hash, with a second run proving same-process reproducibility and the
+// EC structure proving the view is untouched.
+TEST(GoldenRegression, PerturbationIsBitIdenticalPerSeed) {
+  BurelOptions burel;
+  burel.beta = 4.0;
+  auto published = AnonymizeWithBurel(GoldenTable(10000), burel);
+  ASSERT_OK(published);
+
+  PerturbOptions options;
+  options.retention = 0.8;
+  options.seed = 17;
+  auto first = PerturbSaWithinEcs(*published, options);
+  auto second = PerturbSaWithinEcs(*published, options);
+  ASSERT_OK(first);
+  ASSERT_OK(second);
+  EXPECT_TRUE(first->view.source().sa_column() ==
+              second->view.source().sa_column());
+  EXPECT_EQ(EcStructureHash(first->view), EcStructureHash(*published));
+
+  uint64_t hash = 1469598103934665603ULL;
+  for (int32_t v : first->view.source().sa_column()) {
+    hash ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+    hash *= 1099511628211ULL;
+  }
+  EXPECT_EQ(hash, 0x80acb66caeaf6c88ULL);
 }
 
 // The Anonymizer-interface migration must be decision-identical: every

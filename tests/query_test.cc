@@ -280,6 +280,149 @@ TEST(Estimator, MedianAndMeanCrossCheckedAgainstBruteForce) {
   EXPECT_GT(error.median_relative_error, 0.0);
 }
 
+TEST(Workload, SaPredicateGenerationAndPreciseCounts) {
+  const auto table = SmallCensus(1500);
+  WorkloadOptions options;
+  options.num_queries = 150;
+  options.lambda = 2;
+  options.include_sa = true;
+  options.seed = 41;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const int32_t sa_values = table->sa_spec().num_values;
+  for (const AggregateQuery& query : *workload) {
+    ASSERT_EQ(query.predicates.size(), 2u);
+    ASSERT_TRUE(query.has_sa_predicate());
+    EXPECT_LE(0, query.sa_lo);
+    EXPECT_LE(query.sa_lo, query.sa_hi);
+    EXPECT_LT(query.sa_hi, sa_values);
+  }
+  // The flat-predicate scan agrees with row-wise Matches (which now
+  // checks the SA range too).
+  const std::vector<int64_t> counts = PreciseCounts(*table, *workload);
+  for (size_t i = 0; i < workload->size(); ++i) {
+    int64_t expected = 0;
+    for (int64_t row = 0; row < table->num_rows(); ++row) {
+      if ((*workload)[i].Matches(*table, row)) ++expected;
+    }
+    EXPECT_EQ(counts[i], expected);
+  }
+  // Identical options reproduce the SA ranges too.
+  auto again = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(again);
+  ASSERT_TRUE(SameWorkload(*workload, *again));
+  for (size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_EQ((*workload)[i].sa_lo, (*again)[i].sa_lo);
+    EXPECT_EQ((*workload)[i].sa_hi, (*again)[i].sa_hi);
+  }
+}
+
+TEST(Workload, WithoutSaPredicateFieldsStayEmpty) {
+  const auto table = SmallCensus(300);
+  auto workload = GenerateWorkload(table->schema(), WorkloadOptions());
+  ASSERT_OK(workload);
+  for (const AggregateQuery& query : *workload) {
+    EXPECT_FALSE(query.has_sa_predicate());
+  }
+}
+
+TEST(Estimator, IndexedSaPathMatchesScanningPath) {
+  const auto table = SmallCensus(1200);
+  // A coarse publication with mixed SA composition per EC.
+  std::vector<std::vector<int64_t>> ec_rows(5);
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows[row % 5].push_back(row);
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+  const EcSaIndex index(*published);
+
+  WorkloadOptions options;
+  options.num_queries = 120;
+  options.lambda = 2;
+  options.include_sa = true;
+  options.seed = 53;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  for (const AggregateQuery& query : *workload) {
+    EXPECT_NEAR(EstimateFromGeneralized(*published, index, query),
+                EstimateFromGeneralized(*published, query), 1e-9);
+  }
+}
+
+TEST(Estimator, ExactOnUngeneralizedTableWithSaPredicate) {
+  const auto table = SmallCensus(400);
+  std::vector<std::vector<int64_t>> ec_rows;
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows.push_back({row});
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+  const EcSaIndex index(*published);
+
+  WorkloadOptions options;
+  options.num_queries = 80;
+  options.lambda = 2;
+  options.include_sa = true;
+  options.seed = 61;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+  for (size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_NEAR(EstimateFromGeneralized(*published, index, (*workload)[i]),
+                static_cast<double>(truth[i]), 1e-9);
+  }
+}
+
+TEST(Estimator, AnatomizedExactWithoutSaPredicate) {
+  const auto table = SmallCensus(900);
+  // Any grouping will do: Anatomy answers QI-only queries exactly
+  // because the QIT publishes exact values.
+  std::vector<std::vector<int64_t>> ec_rows(7);
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows[row % 7].push_back(row);
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+  const AnatomizedTable view = AnatomizedTable::FromGrouping(*published);
+
+  WorkloadOptions options;
+  options.num_queries = 60;
+  options.lambda = 2;
+  options.seed = 67;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+  for (size_t i = 0; i < workload->size(); ++i) {
+    EXPECT_NEAR(EstimateFromAnatomized(view, (*workload)[i]),
+                static_cast<double>(truth[i]), 1e-9);
+  }
+}
+
+TEST(Estimator, AnatomizedMatchesHandComputedGroupFractions) {
+  // Two groups of four rows; QI identifies rows exactly, SA is mixed.
+  //   group 0: rows 0-3, SA {0, 0, 1, 2};  group 1: rows 4-7,
+  //   SA {1, 2, 2, 3}.
+  std::vector<int32_t> qi = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int32_t> sa = {0, 0, 1, 2, 1, 2, 2, 3};
+  auto table_or = Table::Create({{"A", 0, 7}}, {"SA", 4}, {qi}, sa);
+  ASSERT_OK(table_or);
+  auto table = std::make_shared<Table>(std::move(table_or).value());
+  auto published =
+      GeneralizedTable::Create(table, {{0, 1, 2, 3}, {4, 5, 6, 7}});
+  ASSERT_OK(published);
+  const AnatomizedTable view = AnatomizedTable::FromGrouping(*published);
+
+  // QI range [1, 5] matches rows 1-3 of group 0 and 4-5 of group 1;
+  // SA range [1, 2] has fraction 2/4 in group 0 and 3/4 in group 1:
+  // estimate = 3 * 0.5 + 2 * 0.75 = 3.
+  AggregateQuery query;
+  query.predicates.push_back({0, 1, 5});
+  query.sa_lo = 1;
+  query.sa_hi = 2;
+  EXPECT_NEAR(EstimateFromAnatomized(view, query), 3.0, 1e-12);
+}
+
 TEST(Estimator, EvenWorkloadMedianAveragesTheMiddlePair) {
   // Four queries with hand-pickable errors: truth {10, 10, 10, 10},
   // estimates {10, 12, 16, 30} -> errors {0%, 20%, 60%, 200%}, median
