@@ -1,0 +1,57 @@
+// Helpers shared by the attack implementations (not part of the
+// public attack/ API).
+#ifndef BETALIKE_ATTACK_ATTACK_UTIL_H_
+#define BETALIKE_ATTACK_ATTACK_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "data/table.h"
+
+namespace betalike {
+namespace attack_internal {
+
+// Seeded permutation rank of 0..n-1 (Fisher-Yates over the
+// platform-pinned Rng): rank[v] orders SA values for deterministic
+// argmax tie-breaks that don't systematically favor low codes.
+inline std::vector<int32_t> TieRank(int32_t n, uint64_t seed) {
+  std::vector<int32_t> order(n);
+  for (int32_t v = 0; v < n; ++v) order[v] = v;
+  Rng rng(seed);
+  for (int32_t i = n - 1; i > 0; --i) {
+    const int32_t j =
+        static_cast<int32_t>(rng.Below(static_cast<uint64_t>(i) + 1));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<int32_t> rank(n);
+  for (int32_t i = 0; i < n; ++i) rank[order[i]] = i;
+  return rank;
+}
+
+// Preconditions every attack shares: a non-empty publication, an SA
+// domain worth re-identifying, and a positive smoothing count.
+inline Status ValidateAttackInput(const GeneralizedTable& published,
+                                  double laplace_alpha) {
+  if (published.source().num_rows() == 0) {
+    return Status::FailedPrecondition(
+        "cannot train an attack on an empty publication");
+  }
+  if (published.source().sa_spec().num_values < 2) {
+    return Status::FailedPrecondition(
+        "SA domain has fewer than two values; nothing to re-identify");
+  }
+  if (!(laplace_alpha > 0.0)) {
+    return Status::InvalidArgument(
+        StrFormat("laplace_alpha=%f must be positive", laplace_alpha));
+  }
+  return Status::Ok();
+}
+
+}  // namespace attack_internal
+}  // namespace betalike
+
+#endif  // BETALIKE_ATTACK_ATTACK_UTIL_H_

@@ -1,0 +1,179 @@
+#include "attack/definetti.h"
+
+#include <vector>
+
+#include "attack/attack_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace betalike {
+namespace {
+
+// EM stops once no row's posterior moved more than this between
+// rounds (an exact fixed point — e.g. a single-class publication —
+// stops after its second round).
+constexpr double kConvergence = 1e-12;
+
+}  // namespace
+
+Result<DeFinettiResult> DeFinettiAttack(const GeneralizedTable& published,
+                                        const DeFinettiOptions& options) {
+  Status valid =
+      attack_internal::ValidateAttackInput(published, options.laplace_alpha);
+  if (!valid.ok()) return valid;
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument(
+        StrFormat("max_iterations=%d must be >= 1", options.max_iterations));
+  }
+
+  const Table& source = published.source();
+  const int64_t n = source.num_rows();
+  const int dims = source.num_qi();
+  const int32_t num_values = source.sa_spec().num_values;
+  const double alpha = options.laplace_alpha;
+  const std::vector<int32_t> tie_rank =
+      attack_internal::TieRank(num_values, options.seed);
+
+  // Per-class SA histograms and present-value lists: a value absent
+  // from a class has posterior 0 for every member row throughout (the
+  // adversary knows the class's SA multiset), so all loops skip it.
+  const EcSaIndex index(published);
+  const size_t num_ecs = published.num_ecs();
+  std::vector<std::vector<double>> ec_hist(num_ecs);
+  std::vector<std::vector<int32_t>> ec_vals(num_ecs);
+  for (size_t e = 0; e < num_ecs; ++e) {
+    ec_hist[e].assign(num_values, 0.0);
+    for (int32_t v = 0; v < num_values; ++v) {
+      const int64_t count = index.Count(e, v, v);
+      if (count == 0) continue;
+      ec_hist[e][v] = static_cast<double>(count);
+      ec_vals[e].push_back(v);
+    }
+  }
+
+  // Random-worlds init: every member row starts at its class's SA
+  // histogram (normalized), which is also the baseline prediction.
+  std::vector<double> post(static_cast<size_t>(n) * num_values, 0.0);
+  int64_t baseline_correct = 0;
+  for (size_t e = 0; e < num_ecs; ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    const double inv_size = 1.0 / static_cast<double>(ec.size());
+    int32_t ec_modal = ec_vals[e][0];
+    for (int32_t v : ec_vals[e]) {
+      if (ec_hist[e][v] > ec_hist[e][ec_modal] ||
+          (ec_hist[e][v] == ec_hist[e][ec_modal] &&
+           tie_rank[v] < tie_rank[ec_modal])) {
+        ec_modal = v;
+      }
+    }
+    for (int64_t row : ec.rows) {
+      double* row_post = post.data() + static_cast<size_t>(row) * num_values;
+      for (int32_t v : ec_vals[e]) row_post[v] = ec_hist[e][v] * inv_size;
+      if (ec_modal == source.sa_value(row)) ++baseline_correct;
+    }
+  }
+
+  // Per-dim domain geometry of the M-step model.
+  std::vector<int32_t> lo(dims);
+  std::vector<int32_t> width(dims);
+  for (int d = 0; d < dims; ++d) {
+    lo[d] = source.qi_spec(d).lo;
+    width[d] = static_cast<int32_t>(source.qi_spec(d).extent()) + 1;
+  }
+
+  DeFinettiResult result;
+  result.baseline_accuracy =
+      static_cast<double>(baseline_correct) / static_cast<double>(n);
+
+  std::vector<double> soft(num_values);
+  std::vector<std::vector<double>> cond(dims);
+  std::vector<double> raw(num_values);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    // M-step: fit the Laplace-smoothed Naive-Bayes model P(qi | SA)
+    // to the soft assignments of all rows, across all classes — this
+    // is where cross-EC QI↔SA correlation enters.
+    soft.assign(num_values, 0.0);
+    for (int d = 0; d < dims; ++d) {
+      cond[d].assign(static_cast<size_t>(num_values) * width[d], 0.0);
+    }
+    for (size_t e = 0; e < num_ecs; ++e) {
+      for (int64_t row : published.ec(e).rows) {
+        const double* row_post =
+            post.data() + static_cast<size_t>(row) * num_values;
+        for (int32_t v : ec_vals[e]) {
+          const double p = row_post[v];
+          if (p == 0.0) continue;
+          soft[v] += p;
+          for (int d = 0; d < dims; ++d) {
+            const int32_t x = source.qi_value(row, d) - lo[d];
+            cond[d][static_cast<size_t>(v) * width[d] + x] += p;
+          }
+        }
+      }
+    }
+    for (int d = 0; d < dims; ++d) {
+      for (int32_t v = 0; v < num_values; ++v) {
+        const double denom = soft[v] + alpha * width[d];
+        double* row = cond[d].data() + static_cast<size_t>(v) * width[d];
+        for (int32_t x = 0; x < width[d]; ++x) {
+          row[x] = (row[x] + alpha) / denom;
+        }
+      }
+    }
+
+    // E-step: re-normalize every row's posterior within its class,
+    // weighting the class histogram by the learned likelihood of the
+    // row's exact QI vector.
+    double delta = 0.0;
+    for (size_t e = 0; e < num_ecs; ++e) {
+      for (int64_t row : published.ec(e).rows) {
+        double* row_post =
+            post.data() + static_cast<size_t>(row) * num_values;
+        double sum = 0.0;
+        for (int32_t v : ec_vals[e]) {
+          double score = ec_hist[e][v];
+          for (int d = 0; d < dims; ++d) {
+            const int32_t x = source.qi_value(row, d) - lo[d];
+            score *= cond[d][static_cast<size_t>(v) * width[d] + x];
+          }
+          raw[v] = score;
+          sum += score;
+        }
+        if (sum <= 0.0) continue;  // keep the previous posterior
+        const double inv_sum = 1.0 / sum;
+        for (int32_t v : ec_vals[e]) {
+          const double updated = raw[v] * inv_sum;
+          const double moved = updated > row_post[v]
+                                   ? updated - row_post[v]
+                                   : row_post[v] - updated;
+          if (moved > delta) delta = moved;
+          row_post[v] = updated;
+        }
+      }
+    }
+    result.iterations = it + 1;
+    if (delta <= kConvergence) break;
+  }
+
+  // Success rate: maximum-posterior prediction per row.
+  int64_t correct = 0;
+  for (size_t e = 0; e < num_ecs; ++e) {
+    for (int64_t row : published.ec(e).rows) {
+      const double* row_post =
+          post.data() + static_cast<size_t>(row) * num_values;
+      int32_t best = ec_vals[e][0];
+      for (int32_t v : ec_vals[e]) {
+        if (row_post[v] > row_post[best] ||
+            (row_post[v] == row_post[best] &&
+             tie_rank[v] < tie_rank[best])) {
+          best = v;
+        }
+      }
+      if (best == source.sa_value(row)) ++correct;
+    }
+  }
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace betalike

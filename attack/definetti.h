@@ -1,0 +1,60 @@
+// The deFinetti-style attack the §7 table contextualizes ([15],
+// Kifer SIGMOD'09): the adversary does not assume the random-worlds
+// model within a class — it learns the QI↔SA correlation *across*
+// equivalence classes and uses it to break ties *within* each class.
+//
+// Concretely, an EM-style per-EC posterior learner: every row starts
+// at its class's SA histogram (the random-worlds posterior), then the
+// attack alternates (M) fitting a Laplace-smoothed Naive-Bayes model
+// of P(qi | SA) to the soft assignments of all rows — the attacker's
+// exchangeability-breaking machine — and (E) re-normalizing each
+// row's posterior within its class, weighting the class histogram by
+// the learned per-row likelihoods. The adversary knows every row's
+// exact QI vector (linkage background knowledge); the publication
+// contributes the class structure and SA multisets. Success is the
+// fraction of rows whose maximum-posterior SA value is the true one —
+// the paper's point is that this stays low while the publication's
+// achieved ℓ stays in the attack's weak regime (ℓ >= 5..7).
+//
+// Decision paths use only IEEE +, *, / on fixed-order accumulations
+// (no libm), so posteriors and predictions are bit-identical across
+// platforms; the seed only drives the argmax tie-break order.
+#ifndef BETALIKE_ATTACK_DEFINETTI_H_
+#define BETALIKE_ATTACK_DEFINETTI_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct DeFinettiOptions {
+  // EM rounds; the learner stops early once the largest posterior
+  // update falls below the convergence threshold. Must be >= 1.
+  int max_iterations = 6;
+  // Laplace pseudo-count of the M-step model; must be positive.
+  double laplace_alpha = 1.0;
+  // Seeds the tie-break permutation over SA values used by argmax.
+  uint64_t seed = 7;
+};
+
+struct DeFinettiResult {
+  // Fraction of rows whose maximum-posterior SA value is the true one.
+  double accuracy = 0.0;
+  // Random-worlds baseline: predicting each class's modal SA value
+  // (what the adversary gets without the cross-EC learner).
+  double baseline_accuracy = 0.0;
+  // EM rounds actually run (<= max_iterations; fewer on convergence).
+  int iterations = 0;
+};
+
+// Runs the attack against `published`. FailedPrecondition on an empty
+// publication or an SA domain with fewer than two values;
+// InvalidArgument on bad options.
+Result<DeFinettiResult> DeFinettiAttack(const GeneralizedTable& published,
+                                        const DeFinettiOptions& options = {});
+
+}  // namespace betalike
+
+#endif  // BETALIKE_ATTACK_DEFINETTI_H_

@@ -1,0 +1,141 @@
+#include "attack/naive_bayes.h"
+
+#include "attack/attack_util.h"
+#include "common/logging.h"
+
+namespace betalike {
+
+Result<NaiveBayesAttack> NaiveBayesAttack::Train(
+    const GeneralizedTable& published, const NaiveBayesOptions& options) {
+  Status valid =
+      attack_internal::ValidateAttackInput(published, options.laplace_alpha);
+  if (!valid.ok()) return valid;
+
+  const Table& source = published.source();
+  const int dims = source.num_qi();
+  const int32_t num_values = source.sa_spec().num_values;
+  const double alpha = options.laplace_alpha;
+
+  NaiveBayesAttack attack;
+  attack.num_sa_values_ = num_values;
+  attack.tie_rank_ = attack_internal::TieRank(num_values, options.seed);
+  attack.lo_.resize(dims);
+  attack.width_.resize(dims);
+  for (int d = 0; d < dims; ++d) {
+    attack.lo_[d] = source.qi_spec(d).lo;
+    attack.width_[d] = static_cast<int32_t>(source.qi_spec(d).extent()) + 1;
+  }
+
+  // Priors from the published (exact) SA column, Eq. 15.
+  std::vector<int64_t> sa_counts(num_values, 0);
+  for (int32_t v : source.sa_column()) ++sa_counts[v];
+  attack.prior_.resize(num_values);
+  const double n = static_cast<double>(source.num_rows());
+  for (int32_t v = 0; v < num_values; ++v) {
+    attack.prior_[v] = (static_cast<double>(sa_counts[v]) + alpha) /
+                       (n + alpha * num_values);
+  }
+
+  // Per-attribute conditionals, Eq. 16-17: each class spreads its
+  // per-value count uniformly over its QI box (the only linkage the
+  // publication reveals), accumulated with a per-value difference
+  // array so every class costs O(|SA|), not O(|SA| * box width).
+  const EcSaIndex index(published);
+  attack.cond_.resize(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t width = attack.width_[d];
+    std::vector<double> diff(static_cast<size_t>(num_values) * (width + 1),
+                             0.0);
+    for (size_t e = 0; e < published.num_ecs(); ++e) {
+      const EquivalenceClass& ec = published.ec(e);
+      const int32_t box_lo = ec.qi_min[d] - attack.lo_[d];
+      const int32_t box_hi = ec.qi_max[d] - attack.lo_[d];
+      const double spread = 1.0 / static_cast<double>(box_hi - box_lo + 1);
+      for (int32_t v = 0; v < num_values; ++v) {
+        const int64_t count = index.Count(e, v, v);
+        if (count == 0) continue;
+        double* row = diff.data() + static_cast<size_t>(v) * (width + 1);
+        const double mass = static_cast<double>(count) * spread;
+        row[box_lo] += mass;
+        row[box_hi + 1] -= mass;
+      }
+    }
+    std::vector<double>& cond = attack.cond_[d];
+    cond.resize(static_cast<size_t>(num_values) * width);
+    for (int32_t v = 0; v < num_values; ++v) {
+      const double* row = diff.data() + static_cast<size_t>(v) * (width + 1);
+      const double denom =
+          static_cast<double>(sa_counts[v]) + alpha * width;
+      double mass = 0.0;
+      for (int32_t x = 0; x < width; ++x) {
+        mass += row[x];
+        cond[static_cast<size_t>(v) * width + x] = (mass + alpha) / denom;
+      }
+    }
+  }
+  return attack;
+}
+
+int32_t NaiveBayesAttack::Predict(const std::vector<int32_t>& qi) const {
+  BETALIKE_CHECK(static_cast<int>(qi.size()) == num_qi())
+      << "Predict on " << qi.size() << " attributes, trained on "
+      << num_qi();
+  int32_t best = -1;
+  double best_score = -1.0;
+  for (int32_t v = 0; v < num_sa_values_; ++v) {
+    double score = prior_[v];
+    for (int d = 0; d < num_qi(); ++d) {
+      const int32_t x = qi[d] - lo_[d];
+      BETALIKE_CHECK(x >= 0 && x < width_[d])
+          << "qi[" << d << "]=" << qi[d] << " outside the trained domain";
+      score *= cond_[d][static_cast<size_t>(v) * width_[d] + x];
+    }
+    if (score > best_score ||
+        (score == best_score && tie_rank_[v] < tie_rank_[best])) {
+      best = v;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+int32_t NaiveBayesAttack::PredictRow(const Table& table, int64_t row) const {
+  int32_t best = -1;
+  double best_score = -1.0;
+  for (int32_t v = 0; v < num_sa_values_; ++v) {
+    double score = prior_[v];
+    for (int d = 0; d < num_qi(); ++d) {
+      const int32_t x = table.qi_value(row, d) - lo_[d];
+      score *= cond_[d][static_cast<size_t>(v) * width_[d] + x];
+    }
+    if (score > best_score ||
+        (score == best_score && tie_rank_[v] < tie_rank_[best])) {
+      best = v;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+double NaiveBayesAttack::Accuracy(const Table& table) const {
+  BETALIKE_CHECK(table.num_qi() == num_qi())
+      << "Accuracy on " << table.num_qi() << " QI attributes, trained on "
+      << num_qi();
+  BETALIKE_CHECK(table.sa_spec().num_values == num_sa_values_)
+      << "Accuracy on " << table.sa_spec().num_values
+      << " SA values, trained on " << num_sa_values_;
+  BETALIKE_CHECK(table.num_rows() > 0) << "Accuracy on an empty table";
+  for (int d = 0; d < num_qi(); ++d) {
+    BETALIKE_CHECK(table.qi_spec(d).lo >= lo_[d] &&
+                   table.qi_spec(d).hi < lo_[d] + width_[d])
+        << "QI domain " << d << " outside the trained domain";
+  }
+  int64_t correct = 0;
+  for (int64_t row = 0; row < table.num_rows(); ++row) {
+    if (PredictRow(table, row) == table.sa_value(row)) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(table.num_rows());
+}
+
+}  // namespace betalike

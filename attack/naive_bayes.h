@@ -1,0 +1,70 @@
+// The §7 Naive-Bayes attack (Eq. 15-17): the adversary trains a
+// classifier on the published table alone — SA priors from the
+// published (exact) SA column, per-attribute conditionals from each
+// equivalence class's QI box under the uniform-spread assumption,
+// Laplace-smoothed — and then re-identifies the SA value of every
+// original row from its exact QI values (the standard linkage
+// background knowledge). β-likeness caps every in-class conditional
+// frequency at p_v * (1 + β) (Eq. 19), which is what keeps the
+// attack's accuracy near the modal SA frequency in the paper's table.
+//
+// Decision paths use only IEEE +, *, / on fixed-order accumulations
+// (no libm), so predictions are bit-identical across platforms; the
+// seed only drives the tie-break order over SA values.
+#ifndef BETALIKE_ATTACK_NAIVE_BAYES_H_
+#define BETALIKE_ATTACK_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct NaiveBayesOptions {
+  // Laplace pseudo-count added to every (value, SA) cell; must be
+  // positive (zero cells would otherwise zero out whole products).
+  double laplace_alpha = 1.0;
+  // Seeds the tie-break permutation over SA values used by argmax.
+  uint64_t seed = 7;
+};
+
+class NaiveBayesAttack {
+ public:
+  // Fits the classifier to `published`. FailedPrecondition on an empty
+  // publication or an SA domain with fewer than two values (nothing to
+  // re-identify); InvalidArgument on a non-positive smoothing count.
+  static Result<NaiveBayesAttack> Train(const GeneralizedTable& published,
+                                        const NaiveBayesOptions& options = {});
+
+  // Most probable SA value for one exact QI vector: argmax over v of
+  // prior(v) * Π_d cond_d(qi[d] | v), ties broken by the seeded rank.
+  // `qi` must match the trained schema (size and domains).
+  int32_t Predict(const std::vector<int32_t>& qi) const;
+
+  // Fraction of `table`'s rows whose predicted SA value equals the
+  // true one. `table` must have the schema the classifier was trained
+  // on (the attack model hands the adversary the original QI values).
+  double Accuracy(const Table& table) const;
+
+  int num_qi() const { return static_cast<int>(lo_.size()); }
+  int32_t num_sa_values() const { return num_sa_values_; }
+
+ private:
+  NaiveBayesAttack() = default;
+
+  int32_t PredictRow(const Table& table, int64_t row) const;
+
+  int32_t num_sa_values_ = 0;
+  std::vector<int32_t> lo_;      // per-dim domain lower bound
+  std::vector<int32_t> width_;   // per-dim domain width (hi - lo + 1)
+  std::vector<double> prior_;    // [v]: smoothed P(SA = v)
+  // Per dim d: cond_[d][v * width_[d] + (x - lo_[d])] = P(qi_d = x | v).
+  std::vector<std::vector<double>> cond_;
+  std::vector<int32_t> tie_rank_;  // seeded permutation over SA values
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_ATTACK_NAIVE_BAYES_H_

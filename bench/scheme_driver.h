@@ -24,6 +24,17 @@ inline std::vector<AnonymizerSpec> StandardSpecs(double beta) {
   return {{"burel", beta}, {"lmondrian", beta}, {"dmondrian", beta}};
 }
 
+// The §7 cross-scheme attack panel: BUREL's reference publication
+// plus the t-closeness and ℓ-diversity baselines at their §6
+// parameters, attacked/audited by registry name in both sec7 benches
+// (and pinned by the audit consistency test).
+inline std::vector<AnonymizerSpec> Sec7Specs() {
+  return {{"burel", 4.0},
+          {"tmondrian", 0.2},
+          {"sabre", 0.2},
+          {"anatomy", 4.0}};
+}
+
 // Display names of `specs`, resolved through the registry (the bench
 // table column headers). CHECK-fails on an unknown scheme.
 std::vector<std::string> SchemeNames(

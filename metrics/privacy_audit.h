@@ -18,6 +18,29 @@ double MeasuredBeta(const GeneralizedTable& published);
 // the uniform ground metric, as used for the categorical SA).
 double MeasuredCloseness(const GeneralizedTable& published);
 
+// The full §7 audit of one publication: what t-closeness, distinct-ℓ
+// and entropy-ℓ diversity, and real β the published classes actually
+// achieve. `max_*`/`min_*` are the worst class; `avg_*` are unweighted
+// per-class means (the paper's table reports both). Entropy-ℓ is the
+// effective SA-value count exp(-Σ_v q_v ln q_v) — a class is
+// entropy-ℓ-diverse iff its entropy-ℓ is at least ℓ.
+struct PrivacyAudit {
+  double max_closeness = 0.0;  // worst-EC t == MeasuredCloseness
+  double avg_closeness = 0.0;
+  int min_diversity = 0;       // worst-EC distinct SA count
+  double avg_diversity = 0.0;
+  double min_entropy_l = 0.0;  // worst-EC exp(entropy)
+  double avg_entropy_l = 0.0;
+  double max_beta = 0.0;       // real β == MeasuredBeta
+};
+
+// Computes every audit field in one pass over a prefix-summed per-EC
+// SA histogram (EcSaIndex). The max_beta / max_closeness fields use
+// the exact arithmetic of MeasuredBeta / MeasuredCloseness, in the
+// same order, so they compare equal (==) to those metrics.
+// CHECK-fails on a publication with no equivalence classes.
+PrivacyAudit AuditPrivacy(const GeneralizedTable& published);
+
 }  // namespace betalike
 
 #endif  // BETALIKE_METRICS_PRIVACY_AUDIT_H_

@@ -1,0 +1,186 @@
+// Brute-force cross-check of AuditPrivacy: an O(n * |SA|) recount of
+// worst/average closeness, distinct-ℓ, entropy-ℓ, and real β — no
+// shared helpers, no prefix-summed index — run over random partitions
+// of randomized tables and BUREL's CENSUS output, plus the exact
+// consistency pins AuditPrivacy shares with MeasuredBeta /
+// MeasuredCloseness for every registered scheme.
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/scheme_driver.h"
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/burel.h"
+#include "metrics/privacy_audit.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+// The recount: each class is scanned once per SA value, aggregates are
+// accumulated with plain independent loops.
+PrivacyAudit BruteAudit(const GeneralizedTable& published) {
+  const Table& source = published.source();
+  const std::vector<double> freqs = source.SaFrequencies();
+  const int32_t num_values = source.sa_spec().num_values;
+  PrivacyAudit audit;
+  audit.min_diversity = num_values + 1;
+  audit.min_entropy_l = static_cast<double>(num_values) + 1.0;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    double distance = 0.0;
+    double entropy = 0.0;
+    int distinct = 0;
+    for (int32_t v = 0; v < num_values; ++v) {
+      int64_t count = 0;
+      for (int64_t row : ec.rows) {
+        if (source.sa_value(row) == v) ++count;
+      }
+      const double q =
+          static_cast<double>(count) / static_cast<double>(ec.size());
+      distance += std::fabs(q - freqs[v]);
+      if (count == 0) continue;
+      ++distinct;
+      if (freqs[v] > 0.0) {
+        audit.max_beta = std::max(audit.max_beta, (q - freqs[v]) / freqs[v]);
+      }
+      entropy -= q * std::log(q);
+    }
+    audit.max_closeness = std::max(audit.max_closeness, 0.5 * distance);
+    audit.min_diversity = std::min(audit.min_diversity, distinct);
+    audit.min_entropy_l = std::min(audit.min_entropy_l, std::exp(entropy));
+    audit.avg_closeness += 0.5 * distance;
+    audit.avg_diversity += static_cast<double>(distinct);
+    audit.avg_entropy_l += std::exp(entropy);
+  }
+  const double num_ecs = static_cast<double>(published.num_ecs());
+  audit.avg_closeness /= num_ecs;
+  audit.avg_diversity /= num_ecs;
+  audit.avg_entropy_l /= num_ecs;
+  return audit;
+}
+
+void ExpectAuditsMatch(const GeneralizedTable& published) {
+  const PrivacyAudit audit = AuditPrivacy(published);
+  const PrivacyAudit brute = BruteAudit(published);
+  EXPECT_NEAR(audit.max_closeness, brute.max_closeness, kTolerance);
+  EXPECT_NEAR(audit.avg_closeness, brute.avg_closeness, kTolerance);
+  EXPECT_EQ(audit.min_diversity, brute.min_diversity);
+  EXPECT_NEAR(audit.avg_diversity, brute.avg_diversity, kTolerance);
+  EXPECT_NEAR(audit.min_entropy_l, brute.min_entropy_l, kTolerance);
+  EXPECT_NEAR(audit.avg_entropy_l, brute.avg_entropy_l, kTolerance);
+  EXPECT_NEAR(audit.max_beta, brute.max_beta, kTolerance);
+  // Structural invariants: at least one value per class, entropy-ℓ
+  // between 1 and the worst class's distinct count.
+  EXPECT_GE(audit.min_diversity, 1);
+  EXPECT_GE(audit.min_entropy_l, 1.0 - kTolerance);
+  EXPECT_LE(audit.min_entropy_l,
+            static_cast<double>(audit.min_diversity) + kTolerance);
+  EXPECT_LE(audit.max_closeness, 1.0 + kTolerance);
+}
+
+Table RandomTable(Rng* rng) {
+  const int dims = static_cast<int>(rng->Uniform(1, 3));
+  const int64_t rows = rng->Uniform(20, 300);
+  std::vector<QiSpec> qi_schema(dims);
+  std::vector<std::vector<int32_t>> qi_columns(dims);
+  for (int d = 0; d < dims; ++d) {
+    const int32_t lo = static_cast<int32_t>(rng->Uniform(-20, 20));
+    const int32_t hi = lo + static_cast<int32_t>(rng->Uniform(0, 12));
+    qi_schema[d] = {"Q" + std::to_string(d), lo, hi};
+    qi_columns[d].reserve(rows);
+    for (int64_t i = 0; i < rows; ++i) {
+      qi_columns[d].push_back(static_cast<int32_t>(rng->Uniform(lo, hi)));
+    }
+  }
+  // Skewed SA draw so classes mix dominant and rare values.
+  const int32_t sa_values = static_cast<int32_t>(rng->Uniform(2, 6));
+  std::vector<int32_t> sa(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    sa[i] = static_cast<int32_t>(
+        rng->Below(static_cast<uint64_t>(rng->Below(sa_values)) + 1));
+  }
+  auto table = Table::Create(std::move(qi_schema), {"SA", sa_values},
+                             std::move(qi_columns), std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::move(table).value();
+}
+
+// A uniformly random partition of the table's rows into classes of
+// random sizes — the audit is scheme-independent, so arbitrary
+// partitions exercise it harder than any one scheme's output.
+GeneralizedTable RandomPartition(std::shared_ptr<const Table> table,
+                                 Rng* rng) {
+  std::vector<int64_t> order(table->num_rows());
+  for (int64_t i = 0; i < table->num_rows(); ++i) order[i] = i;
+  for (int64_t i = table->num_rows() - 1; i > 0; --i) {
+    const int64_t j =
+        static_cast<int64_t>(rng->Below(static_cast<uint64_t>(i) + 1));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::vector<int64_t>> ecs;
+  int64_t next = 0;
+  while (next < table->num_rows()) {
+    const int64_t size =
+        std::min(rng->Uniform(1, 25), table->num_rows() - next);
+    ecs.emplace_back(order.begin() + next, order.begin() + next + size);
+    next += size;
+  }
+  auto published = GeneralizedTable::Create(std::move(table), std::move(ecs));
+  BETALIKE_CHECK(published.ok()) << published.status().ToString();
+  return std::move(published).value();
+}
+
+TEST(AuditVerify, MatchesBruteForceOnRandomPartitions) {
+  Rng rng(20267);
+  for (int round = 0; round < 25; ++round) {
+    auto table = std::make_shared<Table>(RandomTable(&rng));
+    ExpectAuditsMatch(RandomPartition(table, &rng));
+  }
+}
+
+TEST(AuditVerify, MatchesBruteForceOnCensusBurel) {
+  auto table = bench::MakeCensus(2000, /*qi_prefix=*/3);
+  for (const double beta : {1.0, 4.0}) {
+    BurelOptions options;
+    options.beta = beta;
+    auto published = AnonymizeWithBurel(table, options);
+    ASSERT_OK(published);
+    ExpectAuditsMatch(*published);
+  }
+}
+
+// The scheme-appropriate privacy parameter for the consistency sweep:
+// the §7 panel's parameter where the scheme appears there, the
+// standard β-likeness budget otherwise.
+double ParamFor(const std::string& scheme) {
+  for (const AnonymizerSpec& spec : bench::Sec7Specs()) {
+    if (spec.scheme == scheme) return spec.param;
+  }
+  return 4.0;
+}
+
+// AuditPrivacy promises exact (==) agreement with the standalone
+// metrics — same counts, same arithmetic, same order — for every
+// scheme the registry can construct.
+TEST(AuditVerify, ConsistentWithStandaloneMetricsForAllSchemes) {
+  auto table = bench::MakeCensus(2000, /*qi_prefix=*/3);
+  for (const std::string& name : RegisteredSchemes()) {
+    auto scheme = MakeAnonymizer({name, ParamFor(name)});
+    ASSERT_OK(scheme);
+    auto published = (*scheme)->Anonymize(table);
+    ASSERT_OK(published);
+    const PrivacyAudit audit = AuditPrivacy(*published);
+    EXPECT_EQ(audit.max_beta, MeasuredBeta(*published));
+    EXPECT_EQ(audit.max_closeness, MeasuredCloseness(*published));
+  }
+}
+
+}  // namespace
+}  // namespace betalike

@@ -22,9 +22,15 @@ class ScopedEnv {
   const char* name_;
 };
 
-TEST(ReproScale, DefaultsToOneWhenUnset) {
-  ScopedEnv env("REPRO_SCALE", nullptr);
-  EXPECT_EQ(bench::ReproScale(), 1);
+TEST(ReproScale, DefaultsToOneWhenUnsetOrEmpty) {
+  {
+    ScopedEnv env("REPRO_SCALE", nullptr);
+    EXPECT_EQ(bench::ReproScale(), 1);
+  }
+  {
+    ScopedEnv env("REPRO_SCALE", "");
+    EXPECT_EQ(bench::ReproScale(), 1);
+  }
 }
 
 TEST(ReproScale, ParsesValidIntegers) {
@@ -38,17 +44,30 @@ TEST(ReproScale, ParsesValidIntegers) {
   }
 }
 
-TEST(ReproScale, RejectsNonNumericValues) {
-  for (const char* bad : {"", "abc", "5x", "x5", "1.5", " 5 ", "--2"}) {
-    ScopedEnv env("REPRO_SCALE", bad);
-    EXPECT_EQ(bench::ReproScale(), 1);
+// ReproScale() CHECK-aborts on an invalid value (a typo must not
+// silently rescale the whole suite), so the rejection cases go through
+// the parser it is built on.
+TEST(ParseReproScale, AcceptsTheFullRange) {
+  for (const char* good : {"1", "42", "1000"}) {
+    const auto scale = bench::ParseReproScale(good);
+    ASSERT_OK(scale);
+    EXPECT_EQ(*scale, std::atoi(good));
   }
 }
 
-TEST(ReproScale, RejectsOutOfRangeValues) {
+TEST(ParseReproScale, RejectsNonNumericValues) {
+  for (const char* bad : {"", "abc", "5x", "x5", "1.5", " 5 ", "--2"}) {
+    const auto scale = bench::ParseReproScale(bad);
+    EXPECT_FALSE(scale.ok());
+    EXPECT_EQ(scale.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParseReproScale, RejectsZeroNegativeAndOverflowingValues) {
   for (const char* bad : {"0", "-3", "1001", "99999999999999999999"}) {
-    ScopedEnv env("REPRO_SCALE", bad);
-    EXPECT_EQ(bench::ReproScale(), 1);
+    const auto scale = bench::ParseReproScale(bad);
+    EXPECT_FALSE(scale.ok());
+    EXPECT_EQ(scale.status().code(), StatusCode::kInvalidArgument);
   }
 }
 

@@ -9,10 +9,14 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "attack/definetti.h"
+#include "attack/naive_bayes.h"
 #include "baseline/anatomy.h"
 #include "baseline/mondrian.h"
 #include "baseline/sabre.h"
+#include "bench/bench_util.h"
 #include "census/census.h"
 #include "core/anonymizer.h"
 #include "core/burel.h"
@@ -211,6 +215,94 @@ TEST(GoldenRegression, PerturbationIsBitIdenticalPerSeed) {
     hash *= 1099511628211ULL;
   }
   EXPECT_EQ(hash, 0x80acb66caeaf6c88ULL);
+}
+
+// ---------------------------------------------------------------------------
+// §7 pins: the audit table and both attacks on the paper-modal 10K
+// census (kPaperModalZipfExponent flattens the SA marginal to the
+// paper's ~4.8% modal share — the §7 benches' setting). Any refactor
+// of AuditPrivacy or the attack/ learners must stay decision-identical
+// here.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Table> PaperModalTable10k() {
+  return bench::MakeCensus(10000, /*qi_prefix=*/3, /*seed=*/42,
+                           bench::kPaperModalZipfExponent);
+}
+
+struct AuditGolden {
+  double beta;
+  double max_t;
+  double avg_t;
+  int min_l;
+  double avg_l;
+  double min_entropy_l;
+  double avg_entropy_l;
+  double real_beta;
+};
+
+constexpr AuditGolden kAuditGoldens[] = {
+    {1.0, 0.192134108527132, 0.146220396497183, 48, 49.629629629629626,
+     41.467407090764659, 44.324596633730067, 0.998667554963358},
+    {2.0, 0.503733333333333, 0.272245664566256, 23, 42.173913043478258,
+     22.288570680240046, 36.339144313601579, 1.996703626011387},
+    {3.0, 0.670400000000000, 0.394320787478890, 15, 31.502762430939228,
+     14.003966168337609, 27.985776312283196, 2.997867803837952},
+    {4.0, 0.699900000000000, 0.492536614429038, 13, 24.825454545454544,
+     12.680131299694692, 22.570462640809971, 3.995004995004995},
+    {5.0, 0.752000000000000, 0.515493632515992, 12, 23.513422818791945,
+     11.484694984106930, 21.517581148804119, 4.296610169491526},
+};
+
+TEST(GoldenRegression, Sec7AuditTable10k) {
+  auto table = PaperModalTable10k();
+  for (const AuditGolden& golden : kAuditGoldens) {
+    BurelOptions options;
+    options.beta = golden.beta;
+    auto published = AnonymizeWithBurel(table, options);
+    ASSERT_OK(published);
+    const PrivacyAudit audit = AuditPrivacy(*published);
+    EXPECT_NEAR(audit.max_closeness, golden.max_t, kTolerance);
+    EXPECT_NEAR(audit.avg_closeness, golden.avg_t, kTolerance);
+    EXPECT_EQ(audit.min_diversity, golden.min_l);
+    EXPECT_NEAR(audit.avg_diversity, golden.avg_l, kTolerance);
+    EXPECT_NEAR(audit.min_entropy_l, golden.min_entropy_l, kTolerance);
+    EXPECT_NEAR(audit.avg_entropy_l, golden.avg_entropy_l, kTolerance);
+    EXPECT_NEAR(audit.max_beta, golden.real_beta, kTolerance);
+  }
+}
+
+// Both attacks on BUREL's β = 4 publication of the same table: the
+// Naive-Bayes decisions are pinned row by row (FNV-1a over the
+// predicted SA codes — the attacks use no libm in decision paths, so
+// the hash is platform-independent), the deFinetti posteriors through
+// their measured success rate.
+TEST(GoldenRegression, Sec7AttackDecisions10k) {
+  auto table = PaperModalTable10k();
+  BurelOptions options;
+  options.beta = 4.0;
+  auto published = AnonymizeWithBurel(table, options);
+  ASSERT_OK(published);
+
+  auto nb = NaiveBayesAttack::Train(*published);
+  ASSERT_OK(nb);
+  EXPECT_NEAR(nb->Accuracy(*table), 0.0483, kTolerance);
+  uint64_t hash = 1469598103934665603ULL;
+  std::vector<int32_t> qi(table->num_qi());
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    for (int d = 0; d < table->num_qi(); ++d) {
+      qi[d] = table->qi_value(row, d);
+    }
+    hash ^= static_cast<uint64_t>(static_cast<uint32_t>(nb->Predict(qi)));
+    hash *= 1099511628211ULL;
+  }
+  EXPECT_EQ(hash, 0xa52543511f3c1d7cULL);
+
+  auto definetti = DeFinettiAttack(*published);
+  ASSERT_OK(definetti);
+  EXPECT_NEAR(definetti->accuracy, 0.0633, kTolerance);
+  EXPECT_NEAR(definetti->baseline_accuracy, 0.0884, kTolerance);
+  EXPECT_EQ(definetti->iterations, 6);
 }
 
 // The Anonymizer-interface migration must be decision-identical: every
