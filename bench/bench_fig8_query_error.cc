@@ -2,10 +2,11 @@
 // generalized publications — four panels varying (a) the number of query
 // predicates λ, (b) β, (c) QI size, (d) selectivity θ.
 #include <algorithm>
-#include <functional>
+#include <memory>
 
 #include "bench/scheme_driver.h"
 #include "query/estimator.h"
+#include "query/published_view.h"
 #include "query/workload.h"
 
 namespace betalike {
@@ -18,6 +19,21 @@ std::vector<std::string> PanelHeader(const std::string& x_header) {
   return header;
 }
 
+// One estimator per scheme run, built through the unified interface
+// (its answers are bit-identical to the legacy free-function path).
+std::vector<std::unique_ptr<Estimator>> MakeEstimators(
+    const std::vector<bench::SchemeRun>& runs) {
+  std::vector<std::unique_ptr<Estimator>> estimators;
+  estimators.reserve(runs.size());
+  for (const bench::SchemeRun& run : runs) {
+    auto estimator =
+        MakeEstimator(PublishedView::Generalized(run.published));
+    BETALIKE_CHECK(estimator.ok()) << estimator.status().ToString();
+    estimators.push_back(std::move(estimator).value());
+  }
+  return estimators;
+}
+
 // One TextTable row: per scheme, the median relative error of answering
 // `workload` from its publication instead of the raw table. Each run
 // must match the header column it fills.
@@ -25,17 +41,16 @@ std::vector<std::string> ErrorRow(
     const std::string& x, const std::vector<std::string>& header,
     const std::vector<int64_t>& truth,
     const std::vector<AggregateQuery>& workload,
-    const std::vector<bench::SchemeRun>& runs) {
+    const std::vector<bench::SchemeRun>& runs,
+    const std::vector<std::unique_ptr<Estimator>>& estimators) {
   BETALIKE_CHECK(runs.size() + 1 == header.size())
       << runs.size() << " runs for " << header.size() << " columns";
   std::vector<std::string> row{x};
   for (size_t i = 0; i < runs.size(); ++i) {
     BETALIKE_CHECK(runs[i].name == header[i + 1])
         << runs[i].name << " filling column " << header[i + 1];
-    const WorkloadError error = EvaluateWorkloadWithTruth(
-        truth, workload, [&](const AggregateQuery& q) {
-          return EstimateFromGeneralized(runs[i].published, q);
-        });
+    const WorkloadError error =
+        EvaluateWorkloadWithTruth(truth, workload, *estimators[i]);
     row.push_back(StrFormat("%.1f%%", error.median_relative_error));
   }
   return row;
@@ -65,6 +80,7 @@ void Run() {
   // Panels (a), (d), and (b)'s beta = 4 row all measure the identical
   // (full table, beta = 4) publications; anonymize that trio once.
   const auto runs4 = bench::RunSchemes(full, bench::StandardSpecs(4.0));
+  const auto estimators4 = MakeEstimators(runs4);
 
   {  // (a) vary lambda; QI = 5, theta = 0.1, beta = 4.
     const auto header = PanelHeader("lambda");
@@ -73,7 +89,8 @@ void Run() {
       const auto workload =
           MakeWorkload(full->schema(), lambda, 0.1, 100 + lambda);
       out.AddRow(ErrorRow(StrFormat("%d", lambda), header,
-                          PreciseCounts(*full, workload), workload, runs4));
+                          PreciseCounts(*full, workload), workload, runs4,
+                          estimators4));
     }
     std::printf("--- Fig. 8(a): vary lambda (QI=5, theta=0.1, beta=4) ---\n");
     std::printf("%s\n", out.ToString().c_str());
@@ -86,12 +103,15 @@ void Run() {
     TextTable out(header);
     for (double beta : {1.0, 2.0, 3.0, 4.0, 5.0}) {
       std::vector<bench::SchemeRun> fresh;
+      std::vector<std::unique_ptr<Estimator>> fresh_estimators;
       if (beta != 4.0) {
         fresh = bench::RunSchemes(full, bench::StandardSpecs(beta));
+        fresh_estimators = MakeEstimators(fresh);
       }
       const auto& runs = beta == 4.0 ? runs4 : fresh;
-      out.AddRow(
-          ErrorRow(StrFormat("%.0f", beta), header, truth, workload, runs));
+      const auto& estimators = beta == 4.0 ? estimators4 : fresh_estimators;
+      out.AddRow(ErrorRow(StrFormat("%.0f", beta), header, truth, workload,
+                          runs, estimators));
     }
     std::printf("--- Fig. 8(b): vary beta (lambda=3, theta=0.1) ---\n");
     std::printf("%s\n", out.ToString().c_str());
@@ -105,17 +125,22 @@ void Run() {
       // The qi = 5 point is the full table again — reuse runs4.
       std::shared_ptr<const Table> table = full;
       std::vector<bench::SchemeRun> fresh;
+      std::vector<std::unique_ptr<Estimator>> fresh_estimators;
       if (qi < full->num_qi()) {
         auto view = full->WithQiPrefix(qi);
         BETALIKE_CHECK(view.ok()) << view.status().ToString();
         table = std::make_shared<Table>(std::move(view).value());
         fresh = bench::RunSchemes(table, bench::StandardSpecs(4.0));
+        fresh_estimators = MakeEstimators(fresh);
       }
-      const auto& runs = qi < full->num_qi() ? fresh : runs4;
+      const bool reuse = qi >= full->num_qi();
+      const auto& runs = reuse ? runs4 : fresh;
+      const auto& estimators = reuse ? estimators4 : fresh_estimators;
       const auto workload =
           MakeWorkload(table->schema(), std::min(qi, 3), 0.1, 300 + qi);
       out.AddRow(ErrorRow(StrFormat("%d", qi), header,
-                          PreciseCounts(*table, workload), workload, runs));
+                          PreciseCounts(*table, workload), workload, runs,
+                          estimators));
     }
     std::printf("--- Fig. 8(c): vary QI size (theta=0.1, beta=4) ---\n");
     std::printf("%s\n", out.ToString().c_str());
@@ -128,7 +153,8 @@ void Run() {
       const auto workload = MakeWorkload(
           full->schema(), 3, theta, 400 + static_cast<int>(theta * 100));
       out.AddRow(ErrorRow(StrFormat("%.2f", theta), header,
-                          PreciseCounts(*full, workload), workload, runs4));
+                          PreciseCounts(*full, workload), workload, runs4,
+                          estimators4));
     }
     std::printf("--- Fig. 8(d): vary theta (lambda=3, beta=4) ---\n");
     std::printf("%s\n", out.ToString().c_str());

@@ -18,13 +18,13 @@
 // vanishing into estimator noise elsewhere), and how much
 // reconstruction claws back.
 #include <algorithm>
-#include <functional>
 #include <memory>
 #include <utility>
 
 #include "bench/scheme_driver.h"
 #include "perturb/perturbation.h"
 #include "query/estimator.h"
+#include "query/published_view.h"
 #include "query/workload.h"
 
 namespace betalike {
@@ -36,16 +36,21 @@ constexpr uint64_t kPerturbSeed = 17;
 constexpr int kAnatomyL = 4;
 
 // Every publication the four columns answer from, all derived from
-// registry-constructed schemes on one table.
+// registry-constructed schemes on one table and wrapped into
+// Estimators through the unified interface — one estimator per
+// publication shape (generalized, anatomized, perturbed ×2).
 struct Release {
-  GeneralizedTable burel;
-  EcSaIndex burel_index;
-  AnatomizedTable anatomy;
-  PerturbedPublication pert_hi;
-  EcSaIndex pert_hi_index;
-  PerturbedPublication pert_lo;
-  EcSaIndex pert_lo_index;
+  std::unique_ptr<Estimator> burel;
+  std::unique_ptr<Estimator> anatomy;
+  std::unique_ptr<Estimator> pert_hi;
+  std::unique_ptr<Estimator> pert_lo;
 };
+
+std::unique_ptr<Estimator> MakeEstimatorOrDie(PublishedView view) {
+  auto estimator = MakeEstimator(view);
+  BETALIKE_CHECK(estimator.ok()) << estimator.status().ToString();
+  return std::move(estimator).value();
+}
 
 Release MakeRelease(const std::shared_ptr<const Table>& table, double beta) {
   GeneralizedTable burel = bench::Publish(table, {"burel", beta});
@@ -61,17 +66,12 @@ Release MakeRelease(const std::shared_ptr<const Table>& table, double beta) {
   auto lo = PerturbSaWithinEcs(burel, popts);
   BETALIKE_CHECK(lo.ok()) << lo.status().ToString();
 
-  EcSaIndex burel_index(burel);
-  EcSaIndex hi_index(hi->view);
-  EcSaIndex lo_index(lo->view);
   return Release{
-      std::move(burel),
-      std::move(burel_index),
-      AnatomizedTable::FromGrouping(grouped),
-      std::move(hi).value(),
-      std::move(hi_index),
-      std::move(lo).value(),
-      std::move(lo_index),
+      MakeEstimatorOrDie(PublishedView::Generalized(std::move(burel))),
+      MakeEstimatorOrDie(
+          PublishedView::Anatomized(AnatomizedTable::FromGrouping(grouped))),
+      MakeEstimatorOrDie(PublishedView::Perturbed(std::move(hi).value())),
+      MakeEstimatorOrDie(PublishedView::Perturbed(std::move(lo).value())),
   };
 }
 
@@ -84,25 +84,14 @@ std::vector<std::string> PanelHeader(const std::string& x_header) {
 std::vector<std::string> ErrorRow(
     const std::string& x, const std::vector<int64_t>& truth,
     const Release& release, const std::vector<AggregateQuery>& workload) {
-  const auto median =
-      [&](const std::function<double(const AggregateQuery&)>& estimate) {
-        return EvaluateWorkloadWithTruth(truth, workload, estimate)
-            .median_relative_error;
-      };
-  const double err_burel = median([&](const AggregateQuery& q) {
-    return EstimateFromGeneralized(release.burel, release.burel_index, q);
-  });
-  const double err_anatomy = median([&](const AggregateQuery& q) {
-    return EstimateFromAnatomized(release.anatomy, q);
-  });
-  const double err_hi = median([&](const AggregateQuery& q) {
-    return EstimateFromPerturbed(release.pert_hi, release.pert_hi_index, q);
-  });
-  const double err_lo = median([&](const AggregateQuery& q) {
-    return EstimateFromPerturbed(release.pert_lo, release.pert_lo_index, q);
-  });
-  return {x, StrFormat("%.1f%%", err_burel), StrFormat("%.1f%%", err_anatomy),
-          StrFormat("%.1f%%", err_hi), StrFormat("%.1f%%", err_lo)};
+  const auto median = [&](const Estimator& estimator) {
+    return EvaluateWorkloadWithTruth(truth, workload, estimator)
+        .median_relative_error;
+  };
+  return {x, StrFormat("%.1f%%", median(*release.burel)),
+          StrFormat("%.1f%%", median(*release.anatomy)),
+          StrFormat("%.1f%%", median(*release.pert_hi)),
+          StrFormat("%.1f%%", median(*release.pert_lo))};
 }
 
 std::vector<AggregateQuery> MakeWorkload(const TableSchema& schema,

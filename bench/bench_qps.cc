@@ -1,0 +1,283 @@
+// Serving-layer benchmark: sustained COUNT(*) throughput of
+// serve/QueryServer over one BUREL publication, across worker counts,
+// with per-query latency quantiles — plus a calibration check that the
+// served confidence intervals actually cover the ground truth at
+// roughly their nominal rate (the fig8 vary-λ panel, answered with
+// intervals and scored against PreciseCounts).
+//
+// Knobs (environment):
+//   BENCH_QPS_ROWS         census size          (default: DefaultRows())
+//   BENCH_QPS_MAX_THREADS  largest worker count (default: 8)
+//   BENCH_QPS_BATCH        queries per AnswerBatch call (default: 1024)
+//   BENCH_QPS_QUERIES      queries per throughput point (default: 2M)
+//   BENCH_QPS_JSON         output path          (default: BENCH_qps.json)
+//
+// Emits the measured series as JSON for the CI artifact. Throughput is
+// machine-dependent and only reported; the bench hard-fails on the two
+// machine-independent properties — answers bit-identical across worker
+// counts, and 95% CI coverage within [0.85, 1.0] on every λ.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "query/estimator.h"
+#include "query/published_view.h"
+#include "query/workload.h"
+#include "serve/query_server.h"
+
+namespace betalike {
+namespace {
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  BETALIKE_CHECK(errno == 0 && end != value && *end == '\0' && parsed > 0)
+      << name << "=\"" << value << "\" is not a positive integer";
+  return parsed;
+}
+
+std::vector<AggregateQuery> MakeWorkload(const TableSchema& schema,
+                                         int num_queries, int lambda,
+                                         double theta, uint64_t seed) {
+  WorkloadOptions options;
+  options.num_queries = num_queries;
+  options.lambda = lambda;
+  options.selectivity = theta;
+  options.seed = seed;
+  auto workload = GenerateWorkload(schema, options);
+  BETALIKE_CHECK(workload.ok()) << workload.status().ToString();
+  return std::move(workload).value();
+}
+
+std::unique_ptr<QueryServer> MakeServer(
+    const std::shared_ptr<const Estimator>& estimator, int workers) {
+  QueryServerOptions options;
+  options.num_workers = workers;
+  auto server = QueryServer::Create(estimator, options);
+  BETALIKE_CHECK(server.ok()) << server.status().ToString();
+  return std::move(server).value();
+}
+
+// Answers across worker counts must be bit-identical: every answer is
+// a pure function of (query, publication), and the chunked fan-out
+// must not change that.
+void CheckDeterminism(const std::shared_ptr<const Estimator>& estimator,
+                      const std::vector<AggregateQuery>& workload,
+                      int max_threads) {
+  const std::vector<ServedAnswer> reference =
+      MakeServer(estimator, 1)->AnswerBatch(workload);
+  for (int workers : {2, max_threads}) {
+    if (workers < 2) continue;
+    const std::vector<ServedAnswer> got =
+        MakeServer(estimator, workers)->AnswerBatch(workload);
+    BETALIKE_CHECK(got.size() == reference.size());
+    BETALIKE_CHECK(std::memcmp(got.data(), reference.data(),
+                               got.size() * sizeof(ServedAnswer)) == 0)
+        << "answers differ between 1 and " << workers << " workers";
+  }
+  std::printf("# determinism: 1 == 2 == %d workers (bit-identical, %zu "
+              "queries)\n\n",
+              max_threads, workload.size());
+}
+
+struct ThroughputPoint {
+  int threads = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+ThroughputPoint MeasureThroughput(
+    const std::shared_ptr<const Estimator>& estimator,
+    const std::vector<AggregateQuery>& workload, int threads,
+    int64_t batch_size, int64_t total_queries) {
+  const std::unique_ptr<QueryServer> server = MakeServer(estimator, threads);
+  const Span<AggregateQuery> all(workload);
+
+  // One warmup pass (page in the index, spin up the pool).
+  server->AnswerBatch(all.Slice(0, batch_size));
+  server->ResetHistograms();
+
+  int64_t served = 0;
+  size_t offset = 0;
+  WallTimer timer;
+  while (served < total_queries) {
+    Span<AggregateQuery> batch = all.Slice(offset, batch_size);
+    if (batch.empty()) {
+      offset = 0;
+      continue;
+    }
+    server->AnswerBatch(batch);
+    served += static_cast<int64_t>(batch.size());
+    offset += batch.size();
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  const LatencyHistogram merged = server->MergedHistogram();
+  ThroughputPoint point;
+  point.threads = threads;
+  point.qps = static_cast<double>(served) / seconds;
+  point.p50_us = static_cast<double>(merged.QuantileNanos(0.50)) / 1000.0;
+  point.p95_us = static_cast<double>(merged.QuantileNanos(0.95)) / 1000.0;
+  point.p99_us = static_cast<double>(merged.QuantileNanos(0.99)) / 1000.0;
+  return point;
+}
+
+struct CalibrationPoint {
+  int lambda = 0;
+  double coverage = 0.0;         // fraction of truths inside the CI
+  double mean_half_width = 0.0;  // mean (ci_hi - ci_lo) / 2
+  double median_error = 0.0;     // fig8 metric, for context
+};
+
+// The fig8(a) panel served with intervals: empirical coverage of the
+// nominal 95% CI against PreciseCounts ground truth.
+CalibrationPoint MeasureCalibration(
+    const std::shared_ptr<const Estimator>& estimator,
+    const std::shared_ptr<const Table>& table, int lambda, int num_queries) {
+  const std::vector<AggregateQuery> workload = MakeWorkload(
+      table->schema(), num_queries, lambda, 0.1, 100 + lambda);
+  const std::vector<int64_t> truth = PreciseCounts(*table, workload);
+
+  const std::unique_ptr<QueryServer> server = MakeServer(estimator, 2);
+  const std::vector<ServedAnswer> answers = server->AnswerBatch(workload);
+
+  CalibrationPoint point;
+  point.lambda = lambda;
+  int64_t covered = 0;
+  double half_width_sum = 0.0;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const double actual = static_cast<double>(truth[i]);
+    if (actual >= answers[i].ci_lo && actual <= answers[i].ci_hi) ++covered;
+    half_width_sum += 0.5 * (answers[i].ci_hi - answers[i].ci_lo);
+  }
+  point.coverage =
+      static_cast<double>(covered) / static_cast<double>(answers.size());
+  point.mean_half_width = half_width_sum / static_cast<double>(answers.size());
+  point.median_error =
+      EvaluateWorkloadWithTruth(truth, workload, *estimator)
+          .median_relative_error;
+  return point;
+}
+
+void WriteJson(const std::string& path, int64_t rows,
+               const std::vector<ThroughputPoint>& throughput,
+               const std::vector<CalibrationPoint>& calibration) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  BETALIKE_CHECK(f != nullptr) << "cannot write " << path;
+  std::fprintf(f, "{\n  \"rows\": %lld,\n  \"throughput\": [\n",
+               static_cast<long long>(rows));
+  for (size_t i = 0; i < throughput.size(); ++i) {
+    const ThroughputPoint& p = throughput[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"qps\": %.1f, \"p50_us\": %.2f, "
+                 "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 p.threads, p.qps, p.p50_us, p.p95_us, p.p99_us,
+                 i + 1 < throughput.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"calibration\": [\n");
+  for (size_t i = 0; i < calibration.size(); ++i) {
+    const CalibrationPoint& p = calibration[i];
+    std::fprintf(f,
+                 "    {\"lambda\": %d, \"coverage\": %.4f, "
+                 "\"mean_half_width\": %.2f, \"median_error_pct\": %.2f}%s\n",
+                 p.lambda, p.coverage, p.mean_half_width, p.median_error,
+                 i + 1 < calibration.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Run() {
+  const int64_t rows = EnvInt64("BENCH_QPS_ROWS", bench::DefaultRows());
+  const int max_threads =
+      static_cast<int>(EnvInt64("BENCH_QPS_MAX_THREADS", 8));
+  const int64_t batch_size = EnvInt64("BENCH_QPS_BATCH", 1024);
+  const int64_t total_queries = EnvInt64("BENCH_QPS_QUERIES", 2000000);
+  const char* json_env = std::getenv("BENCH_QPS_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env : "BENCH_qps.json";
+
+  bench::PrintHeader(
+      "Serving: COUNT(*) QPS and CI calibration over a BUREL publication",
+      "throughput scales with workers up to the core count; served 95% "
+      "intervals cover the truth at roughly their nominal rate",
+      rows);
+
+  auto table = bench::MakeCensus(rows, /*qi_prefix=*/5);
+  auto estimator_result = MakeEstimator(
+      PublishedView::Generalized(bench::Publish(table, {"burel", 4.0})));
+  BETALIKE_CHECK(estimator_result.ok())
+      << estimator_result.status().ToString();
+  const std::shared_ptr<const Estimator> estimator =
+      std::move(estimator_result).value();
+
+  // The hot workload the throughput loop cycles through: fig8's
+  // λ=2, θ=0.1 point.
+  const std::vector<AggregateQuery> hot =
+      MakeWorkload(table->schema(), 8192, /*lambda=*/2, /*theta=*/0.1,
+                   /*seed=*/7);
+
+  CheckDeterminism(estimator, hot, max_threads);
+
+  std::vector<ThroughputPoint> throughput;
+  {
+    TextTable out({"workers", "qps", "p50_us", "p95_us", "p99_us"});
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      const ThroughputPoint p = MeasureThroughput(estimator, hot, threads,
+                                                  batch_size, total_queries);
+      throughput.push_back(p);
+      out.AddRow({StrFormat("%d", p.threads), StrFormat("%.0f", p.qps),
+                  StrFormat("%.2f", p.p50_us), StrFormat("%.2f", p.p95_us),
+                  StrFormat("%.2f", p.p99_us)});
+    }
+    std::printf("--- throughput: lambda=2, theta=0.1 workload, %lld "
+                "queries/point ---\n",
+                static_cast<long long>(total_queries));
+    std::printf("%s\n", out.ToString().c_str());
+  }
+
+  std::vector<CalibrationPoint> calibration;
+  {
+    TextTable out({"lambda", "coverage", "half_width", "median_err"});
+    for (int lambda = 1; lambda <= 5; ++lambda) {
+      const CalibrationPoint p = MeasureCalibration(
+          estimator, table, lambda, bench::DefaultQueries());
+      calibration.push_back(p);
+      out.AddRow({StrFormat("%d", p.lambda), StrFormat("%.3f", p.coverage),
+                  StrFormat("%.1f", p.mean_half_width),
+                  StrFormat("%.1f%%", p.median_error)});
+      BETALIKE_CHECK(p.coverage >= 0.85 && p.coverage <= 1.0)
+          << "95% CI coverage " << p.coverage << " at lambda=" << lambda
+          << " outside [0.85, 1.0]";
+    }
+    std::printf(
+        "--- CI calibration: nominal 95%% intervals vs PreciseCounts "
+        "(fig8 vary-lambda panel) ---\n");
+    std::printf("%s\n", out.ToString().c_str());
+  }
+
+  WriteJson(json_path, rows, throughput, calibration);
+  std::printf("# wrote %s\n", json_path.c_str());
+}
+
+}  // namespace
+}  // namespace betalike
+
+int main() {
+  betalike::Run();
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "core/anonymizer.h"
 #include "data/table.h"
 
 namespace betalike {
@@ -91,6 +92,29 @@ inline std::shared_ptr<const Table> MakeCensus(int64_t rows, int qi_prefix,
   auto prefixed = table->WithQiPrefix(qi_prefix);
   BETALIKE_CHECK(prefixed.ok()) << prefixed.status().ToString();
   return std::make_shared<Table>(std::move(prefixed).value());
+}
+
+// Registry lookup with CHECK-fail error handling — a bench asking for
+// an unknown or misconfigured scheme should die loudly, not skip a
+// series.
+inline std::unique_ptr<Anonymizer> MakeAnonymizerOrDie(
+    const AnonymizerSpec& spec) {
+  auto scheme = MakeAnonymizer(spec);
+  BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
+  return std::move(scheme).value();
+}
+
+// Registry-resolved single publication: MakeAnonymizer + Anonymize
+// with CHECK-fail error handling. Shared by the figure benches (via
+// scheme_driver) and the serving bench — the one place publication
+// construction is spelled out.
+inline GeneralizedTable Publish(const std::shared_ptr<const Table>& table,
+                                const AnonymizerSpec& spec) {
+  const std::unique_ptr<Anonymizer> scheme = MakeAnonymizerOrDie(spec);
+  auto published = scheme->Anonymize(table);
+  BETALIKE_CHECK(published.ok())
+      << scheme->Name() << ": " << published.status().ToString();
+  return std::move(published).value();
 }
 
 // `rows` <= 0 means the bench uses the scaled default; benches with

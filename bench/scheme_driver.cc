@@ -17,21 +17,9 @@ std::vector<std::string> SchemeNames(
   std::vector<std::string> names;
   names.reserve(specs.size());
   for (const AnonymizerSpec& spec : specs) {
-    auto scheme = MakeAnonymizer(spec);
-    BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
-    names.push_back((*scheme)->Name());
+    names.push_back(MakeAnonymizerOrDie(spec)->Name());
   }
   return names;
-}
-
-GeneralizedTable Publish(const std::shared_ptr<const Table>& table,
-                         const AnonymizerSpec& spec) {
-  auto scheme = MakeAnonymizer(spec);
-  BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
-  auto published = (*scheme)->Anonymize(table);
-  BETALIKE_CHECK(published.ok())
-      << (*scheme)->Name() << ": " << published.status().ToString();
-  return std::move(published).value();
 }
 
 std::vector<SchemeRun> RunSchemes(const std::shared_ptr<const Table>& table,
@@ -39,14 +27,13 @@ std::vector<SchemeRun> RunSchemes(const std::shared_ptr<const Table>& table,
   std::vector<SchemeRun> runs;
   runs.reserve(specs.size());
   for (const AnonymizerSpec& spec : specs) {
-    auto scheme = MakeAnonymizer(spec);
-    BETALIKE_CHECK(scheme.ok()) << scheme.status().ToString();
+    const std::unique_ptr<Anonymizer> scheme = MakeAnonymizerOrDie(spec);
     WallTimer timer;
-    auto published = (*scheme)->Anonymize(table);
+    auto published = scheme->Anonymize(table);
     const double seconds = timer.ElapsedSeconds();
     BETALIKE_CHECK(published.ok())
-        << (*scheme)->Name() << ": " << published.status().ToString();
-    runs.push_back({(*scheme)->Name(), std::move(published).value(), seconds});
+        << scheme->Name() << ": " << published.status().ToString();
+    runs.push_back({scheme->Name(), std::move(published).value(), seconds});
   }
   return runs;
 }

@@ -40,14 +40,8 @@ inline std::vector<AnonymizerSpec> Sec7Specs() {
 std::vector<std::string> SchemeNames(
     const std::vector<AnonymizerSpec>& specs);
 
-// Registry-resolved single publication: MakeAnonymizer + Anonymize
-// with CHECK-fail error handling (a bench with a broken scheme should
-// die loudly). The fig4 equalization searches and fig9 release
-// derivations run schemes one at a time through this.
-GeneralizedTable Publish(const std::shared_ptr<const Table>& table,
-                         const AnonymizerSpec& spec);
-
-// One timed Anonymize run of one scheme.
+// One timed Anonymize run of one scheme. (Single untimed publications
+// come from bench::Publish in bench_util.h.)
 struct SchemeRun {
   std::string name;  // Anonymizer::Name()
   GeneralizedTable published;

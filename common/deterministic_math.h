@@ -1,0 +1,33 @@
+// Deterministic, libm-free numeric helpers. Decision paths and
+// published numbers must be bit-identical across platforms, so these
+// use only IEEE +-*/ and integer bit manipulation — never <cmath>
+// functions, whose last-ulp behavior varies by libm implementation.
+#ifndef BETALIKE_COMMON_DETERMINISTIC_MATH_H_
+#define BETALIKE_COMMON_DETERMINISTIC_MATH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace betalike {
+
+// Newton's-method square root: exponent-halving initial guess via the
+// bit pattern, then five iterations of y ← (y + x/y) / 2 — full
+// double precision over the magnitudes the estimators produce.
+// Returns 0 for x ≤ 0 or NaN.
+inline double DeterministicSqrt(double x) {
+  if (!(x > 0.0)) return 0.0;  // also catches NaN
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(x), "double is not 64-bit");
+  std::memcpy(&bits, &x, sizeof(bits));
+  bits = (bits >> 1) + 0x1FF8000000000000ull;
+  double y;
+  std::memcpy(&y, &bits, sizeof(y));
+  for (int i = 0; i < 5; ++i) {
+    y = 0.5 * (y + x / y);
+  }
+  return y;
+}
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_DETERMINISTIC_MATH_H_

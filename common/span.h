@@ -1,0 +1,44 @@
+// Minimal read-only span (C++17 has no std::span): a non-owning
+// pointer + length view over contiguous objects. The batched serving
+// API takes Span<AggregateQuery> so callers can hand it slices of a
+// workload vector without copying.
+#ifndef BETALIKE_COMMON_SPAN_H_
+#define BETALIKE_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace betalike {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  // Subview of `count` elements starting at `offset` (both clamped to
+  // the span's bounds).
+  Span<T> Slice(size_t offset, size_t count) const {
+    if (offset > size_) offset = size_;
+    if (count > size_ - offset) count = size_ - offset;
+    return Span<T>(data_ + offset, count);
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_SPAN_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -25,7 +26,399 @@ double BoxFraction(const EquivalenceClass& ec, const AggregateQuery& query) {
   return fraction;
 }
 
+// Single implementation behind EstimateFromAnatomized and the
+// anatomized Estimator: the estimate accumulation is identical in both
+// instantiations (the variance terms are separate expressions), so the
+// interface answers bitwise like the free function.
+template <bool kWithVariance>
+EstimateWithVariance AnatomizedCore(const AnatomizedTable& anatomized,
+                                    const AggregateQuery& query) {
+  const Table& source = anatomized.source();
+  const int64_t n = source.num_rows();
+
+  // Group-level SA fractions once per query, then one predicate scan
+  // over the exact QIT columns; matching rows contribute their group's
+  // fraction. Without an SA predicate the fractions are all 1 and the
+  // estimate collapses to the exact count.
+  std::vector<double> group_fraction;
+  if (query.has_sa_predicate()) {
+    group_fraction.reserve(anatomized.num_groups());
+    for (size_t g = 0; g < anatomized.num_groups(); ++g) {
+      group_fraction.push_back(
+          static_cast<double>(
+              anatomized.GroupSaCount(g, query.sa_lo, query.sa_hi)) /
+          static_cast<double>(anatomized.group_size(g)));
+    }
+  }
+
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  preds.reserve(query.predicates.size());
+  for (const QueryPredicate& p : query.predicates) {
+    preds.push_back({source.qi_column(p.dim).data(), p.lo, p.hi});
+  }
+
+  EstimateWithVariance out;
+  for (int64_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const FlatPredicate& p : preds) {
+      const int32_t v = p.column[row];
+      if (v < p.lo || v > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (group_fraction.empty()) {
+      out.estimate += 1.0;  // exact QI match; no SA uncertainty
+    } else {
+      const double fraction = group_fraction[anatomized.group_of_row(row)];
+      out.estimate += fraction;
+      if constexpr (kWithVariance) {
+        // Under the within-group uniform-association model, a matching
+        // row carries the SA range with probability `fraction`:
+        // Bernoulli variance per row.
+        out.variance += fraction * (1.0 - fraction);
+      }
+    }
+  }
+  return out;
+}
+
+// Single implementation behind EstimateFromPerturbed and the perturbed
+// Estimator (same identity argument as AnatomizedCore).
+template <bool kWithVariance>
+EstimateWithVariance PerturbedCore(const PerturbedPublication& perturbed,
+                                   const EcSaIndex& index,
+                                   const AggregateQuery& query) {
+  const GeneralizedTable& published = perturbed.view;
+  const int32_t num_values = published.source().sa_spec().num_values;
+  double width = 0.0;
+  if (query.has_sa_predicate()) {
+    const int32_t lo = std::max(query.sa_lo, 0);
+    const int32_t hi = std::min(query.sa_hi, num_values - 1);
+    if (lo > hi) return {};
+    width = static_cast<double>(hi - lo + 1);
+  }
+
+  EstimateWithVariance out;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    const double fraction = BoxFraction(ec, query);
+    if (fraction == 0.0) continue;
+    const double size = static_cast<double>(ec.size());
+    double matching = size;
+    if (query.has_sa_predicate()) {
+      const double noisy =
+          static_cast<double>(index.Count(e, query.sa_lo, query.sa_hi));
+      const double expected_noise = size * (1.0 - perturbed.retention) *
+                                    width / static_cast<double>(num_values);
+      matching = std::clamp((noisy - expected_noise) / perturbed.retention,
+                            0.0, size);
+      if constexpr (kWithVariance) {
+        // The observed in-range count is a sum of per-tuple Bernoulli
+        // reports; its variance (estimated from the observed rate) is
+        // inflated by 1/ρ² when the mechanism is inverted.
+        const double rate = noisy / size;
+        out.variance += fraction * fraction * size * rate * (1.0 - rate) /
+                        (perturbed.retention * perturbed.retention);
+      }
+    }
+    out.estimate += fraction * matching;
+    if constexpr (kWithVariance) {
+      // Clustered-spread term; see the generalized estimator for the
+      // f(1-f)·m² model.
+      out.variance += fraction * (1.0 - fraction) * matching * matching;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Generalized-table estimator: flattened per-EC box summaries plus a
+// conservative per-dimension overlap prune.
+//
+// The serving layer answers millions of point queries from one
+// publication, so the per-query cost is dominated by the scan over
+// equivalence classes. Two precomputed structures cut it down:
+//
+//   - Box summaries in one contiguous EC-major array (the per-EC
+//     vectors of the publication scatter every class across the heap).
+//   - Per-dimension overlap bitsets over a fixed 128-cell domain grid:
+//     A[d][c] holds the classes whose box can start at or before cell
+//     c's upper edge, B[d][c] those whose box can end at or after cell
+//     c's lower edge. ANDing the (A, B) pair of every predicate yields
+//     a *superset* of the classes overlapping all predicates, so
+//     skipping the rest drops only zero-contribution classes.
+//
+// Surviving classes are evaluated in ascending class order with the
+// exact operation sequence of EstimateFromGeneralized, which keeps the
+// estimate bit-identical to the legacy scan.
+// ---------------------------------------------------------------------------
+
+constexpr int kPruneCells = 128;
+
+class GeneralizedBoxIndex {
+ public:
+  explicit GeneralizedBoxIndex(const GeneralizedTable& published)
+      : schema_(published.source().schema()),
+        num_dims_(schema_.num_qi()),
+        num_ecs_(published.num_ecs()),
+        words_((num_ecs_ + 63) / 64) {
+    boxes_.resize(num_ecs_ * static_cast<size_t>(num_dims_) * 2);
+    sizes_.reserve(num_ecs_);
+    for (size_t e = 0; e < num_ecs_; ++e) {
+      const EquivalenceClass& ec = published.ec(e);
+      sizes_.push_back(static_cast<double>(ec.size()));
+      for (int d = 0; d < num_dims_; ++d) {
+        boxes_[(e * num_dims_ + d) * 2 + 0] = ec.qi_min[d];
+        boxes_[(e * num_dims_ + d) * 2 + 1] = ec.qi_max[d];
+      }
+    }
+
+    // A-table then B-table per dimension, kPruneCells bitsets each.
+    overlap_bits_.assign(
+        static_cast<size_t>(num_dims_) * 2 * kPruneCells * words_, 0);
+    for (size_t e = 0; e < num_ecs_; ++e) {
+      const EquivalenceClass& ec = published.ec(e);
+      const uint64_t bit = uint64_t{1} << (e % 64);
+      const size_t word = e / 64;
+      for (int d = 0; d < num_dims_; ++d) {
+        // box_lo <= upper_edge(c) holds for every cell from the one
+        // containing box_lo upward; box_hi >= lower_edge(c) for every
+        // cell up to the one containing box_hi.
+        for (int c = Cell(d, ec.qi_min[d]); c < kPruneCells; ++c) {
+          TableWord(d, /*b_table=*/false, c)[word] |= bit;
+        }
+        for (int c = Cell(d, ec.qi_max[d]); c >= 0; --c) {
+          TableWord(d, /*b_table=*/true, c)[word] |= bit;
+        }
+      }
+    }
+  }
+
+  size_t num_ecs() const { return num_ecs_; }
+  size_t words() const { return words_; }
+  double size(size_t e) const { return sizes_[e]; }
+  int32_t box_lo(size_t e, int d) const {
+    return boxes_[(e * num_dims_ + d) * 2 + 0];
+  }
+  int32_t box_hi(size_t e, int d) const {
+    return boxes_[(e * num_dims_ + d) * 2 + 1];
+  }
+
+  // Fills `mask` (words() words) with a superset of the classes whose
+  // box overlaps every predicate of `query`; all-ones (over the EC
+  // range) for an unconstrained query.
+  void CandidateMask(const AggregateQuery& query,
+                     std::vector<uint64_t>* mask) const {
+    mask->assign(words_, 0);
+    bool first = true;
+    for (const QueryPredicate& p : query.predicates) {
+      const uint64_t* a = TableWordConst(p.dim, false, Cell(p.dim, p.hi));
+      const uint64_t* b = TableWordConst(p.dim, true, Cell(p.dim, p.lo));
+      if (first) {
+        for (size_t w = 0; w < words_; ++w) (*mask)[w] = a[w] & b[w];
+        first = false;
+      } else {
+        for (size_t w = 0; w < words_; ++w) (*mask)[w] &= a[w] & b[w];
+      }
+    }
+    if (first) {
+      // No QI predicates: every class is a candidate.
+      for (size_t e = 0; e < num_ecs_; ++e) {
+        (*mask)[e / 64] |= uint64_t{1} << (e % 64);
+      }
+    }
+  }
+
+ private:
+  // Cell of `value` on dimension `d`'s grid, with out-of-domain values
+  // clamped — clamping keeps the cell's edge on the conservative side
+  // of the query bound, so pruned sets stay supersets.
+  int Cell(int d, int64_t value) const {
+    const QiSpec& spec = schema_.qi[d];
+    if (value < spec.lo) value = spec.lo;
+    if (value > spec.hi) value = spec.hi;
+    const int64_t offset = value - spec.lo;
+    return static_cast<int>(offset * kPruneCells / (spec.extent() + 1));
+  }
+
+  uint64_t* TableWord(int d, bool b_table, int c) {
+    return overlap_bits_.data() +
+           ((static_cast<size_t>(d) * 2 + (b_table ? 1 : 0)) * kPruneCells +
+            c) *
+               words_;
+  }
+  const uint64_t* TableWordConst(int d, bool b_table, int c) const {
+    return overlap_bits_.data() +
+           ((static_cast<size_t>(d) * 2 + (b_table ? 1 : 0)) * kPruneCells +
+            c) *
+               words_;
+  }
+
+  TableSchema schema_;
+  int num_dims_;
+  size_t num_ecs_;
+  size_t words_;
+  std::vector<int32_t> boxes_;   // EC-major: [e][d][lo, hi]
+  std::vector<double> sizes_;
+  std::vector<uint64_t> overlap_bits_;
+};
+
+class GeneralizedEstimator final : public Estimator {
+ public:
+  explicit GeneralizedEstimator(
+      std::shared_ptr<const GeneralizedTable> published)
+      : published_(std::move(published)),
+        sa_index_(*published_),
+        boxes_(*published_) {}
+
+  std::string Name() const override { return "generalized"; }
+
+  double Estimate(const AggregateQuery& query) const override {
+    return EstimateImpl<false>(query).estimate;
+  }
+  EstimateWithVariance EstimateWithUncertainty(
+      const AggregateQuery& query) const override {
+    return EstimateImpl<true>(query);
+  }
+
+ private:
+  template <bool kWithVariance>
+  EstimateWithVariance EstimateImpl(const AggregateQuery& query) const {
+    // Per-thread scratch: the index is shared across serving threads,
+    // so the candidate mask cannot live in the estimator.
+    thread_local std::vector<uint64_t> mask;
+    boxes_.CandidateMask(query, &mask);
+
+    EstimateWithVariance out;
+    const bool sa = query.has_sa_predicate();
+    for (size_t w = 0; w < boxes_.words(); ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        const size_t e = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        // Exact evaluation, same operation sequence as BoxFraction +
+        // the legacy indexed scan (candidates are a superset, so the
+        // lo > hi reject below still filters false positives).
+        double fraction = 1.0;
+        bool overlap = true;
+        for (const QueryPredicate& p : query.predicates) {
+          const int32_t box_lo = boxes_.box_lo(e, p.dim);
+          const int32_t box_hi = boxes_.box_hi(e, p.dim);
+          const int32_t lo = std::max(box_lo, p.lo);
+          const int32_t hi = std::min(box_hi, p.hi);
+          if (lo > hi) {
+            overlap = false;
+            break;
+          }
+          fraction *= static_cast<double>(hi - lo + 1) /
+                      static_cast<double>(box_hi - box_lo + 1);
+        }
+        if (!overlap) continue;
+        const double matching =
+            sa ? static_cast<double>(
+                     sa_index_.Count(e, query.sa_lo, query.sa_hi))
+               : boxes_.size(e);
+        out.estimate += fraction * matching;
+        if constexpr (kWithVariance) {
+          // Clustered-spread variance f(1-f)·m²: a class's matching
+          // tuples sit in correlated clumps, not independently
+          // (Binomial f(1-f)·m covers only ~56% of truths at nominal
+          // 95% on CENSUS; treating each class as one all-or-nothing
+          // block lands 0.93–0.96 across the fig8 vary-λ panel).
+          out.variance += fraction * (1.0 - fraction) * matching * matching;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::shared_ptr<const GeneralizedTable> published_;
+  EcSaIndex sa_index_;
+  GeneralizedBoxIndex boxes_;
+};
+
+class AnatomizedEstimator final : public Estimator {
+ public:
+  explicit AnatomizedEstimator(std::shared_ptr<const AnatomizedTable> view)
+      : view_(std::move(view)) {}
+
+  std::string Name() const override { return "anatomized"; }
+
+  double Estimate(const AggregateQuery& query) const override {
+    return AnatomizedCore<false>(*view_, query).estimate;
+  }
+  EstimateWithVariance EstimateWithUncertainty(
+      const AggregateQuery& query) const override {
+    return AnatomizedCore<true>(*view_, query);
+  }
+
+ private:
+  std::shared_ptr<const AnatomizedTable> view_;
+};
+
+class PerturbedEstimator final : public Estimator {
+ public:
+  explicit PerturbedEstimator(
+      std::shared_ptr<const PerturbedPublication> publication)
+      : publication_(std::move(publication)),
+        sa_index_(publication_->view) {}
+
+  std::string Name() const override { return "perturbed"; }
+
+  double Estimate(const AggregateQuery& query) const override {
+    return PerturbedCore<false>(*publication_, sa_index_, query).estimate;
+  }
+  EstimateWithVariance EstimateWithUncertainty(
+      const AggregateQuery& query) const override {
+    return PerturbedCore<true>(*publication_, sa_index_, query);
+  }
+
+ private:
+  std::shared_ptr<const PerturbedPublication> publication_;
+  EcSaIndex sa_index_;
+};
+
 }  // namespace
+
+Result<std::unique_ptr<Estimator>> MakeEstimator(const PublishedView& view) {
+  switch (view.kind()) {
+    case PublishedView::Kind::kGeneralized:
+      if (view.generalized().num_ecs() == 0) {
+        return Status::FailedPrecondition(
+            "generalized publication has no equivalence classes");
+      }
+      return std::unique_ptr<Estimator>(
+          new GeneralizedEstimator(view.shared_generalized()));
+    case PublishedView::Kind::kAnatomized:
+      if (view.anatomized().num_groups() == 0) {
+        return Status::FailedPrecondition(
+            "anatomized publication has no groups");
+      }
+      return std::unique_ptr<Estimator>(
+          new AnatomizedEstimator(view.shared_anatomized()));
+    case PublishedView::Kind::kPerturbed: {
+      const double retention = view.perturbed().retention;
+      if (!(retention > 0.0 && retention <= 1.0)) {
+        return Status::InvalidArgument(
+            "perturbed publication retention outside (0, 1]");
+      }
+      if (view.perturbed().view.num_ecs() == 0) {
+        return Status::FailedPrecondition(
+            "perturbed publication has no equivalence classes");
+      }
+      return std::unique_ptr<Estimator>(
+          new PerturbedEstimator(view.shared_perturbed()));
+    }
+  }
+  return Status::Internal("unreachable PublishedView kind");
+}
 
 double EstimateFromGeneralized(const GeneralizedTable& published,
                                const AggregateQuery& query) {
@@ -67,84 +460,13 @@ double EstimateFromGeneralized(const GeneralizedTable& published,
 
 double EstimateFromAnatomized(const AnatomizedTable& anatomized,
                               const AggregateQuery& query) {
-  const Table& source = anatomized.source();
-  const int64_t n = source.num_rows();
-
-  // Group-level SA fractions once per query, then one predicate scan
-  // over the exact QIT columns; matching rows contribute their group's
-  // fraction. Without an SA predicate the fractions are all 1 and the
-  // estimate collapses to the exact count.
-  std::vector<double> group_fraction;
-  if (query.has_sa_predicate()) {
-    group_fraction.reserve(anatomized.num_groups());
-    for (size_t g = 0; g < anatomized.num_groups(); ++g) {
-      group_fraction.push_back(
-          static_cast<double>(
-              anatomized.GroupSaCount(g, query.sa_lo, query.sa_hi)) /
-          static_cast<double>(anatomized.group_size(g)));
-    }
-  }
-
-  struct FlatPredicate {
-    const int32_t* column;
-    int32_t lo;
-    int32_t hi;
-  };
-  std::vector<FlatPredicate> preds;
-  preds.reserve(query.predicates.size());
-  for (const QueryPredicate& p : query.predicates) {
-    preds.push_back({source.qi_column(p.dim).data(), p.lo, p.hi});
-  }
-
-  double total = 0.0;
-  for (int64_t row = 0; row < n; ++row) {
-    bool match = true;
-    for (const FlatPredicate& p : preds) {
-      const int32_t v = p.column[row];
-      if (v < p.lo || v > p.hi) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
-    total += group_fraction.empty()
-                 ? 1.0
-                 : group_fraction[anatomized.group_of_row(row)];
-  }
-  return total;
+  return AnatomizedCore<false>(anatomized, query).estimate;
 }
 
 double EstimateFromPerturbed(const PerturbedPublication& perturbed,
                              const EcSaIndex& index,
                              const AggregateQuery& query) {
-  const GeneralizedTable& published = perturbed.view;
-  const int32_t num_values = published.source().sa_spec().num_values;
-  double width = 0.0;
-  if (query.has_sa_predicate()) {
-    const int32_t lo = std::max(query.sa_lo, 0);
-    const int32_t hi = std::min(query.sa_hi, num_values - 1);
-    if (lo > hi) return 0.0;
-    width = static_cast<double>(hi - lo + 1);
-  }
-
-  double total = 0.0;
-  for (size_t e = 0; e < published.num_ecs(); ++e) {
-    const EquivalenceClass& ec = published.ec(e);
-    const double fraction = BoxFraction(ec, query);
-    if (fraction == 0.0) continue;
-    const double size = static_cast<double>(ec.size());
-    double matching = size;
-    if (query.has_sa_predicate()) {
-      const double noisy =
-          static_cast<double>(index.Count(e, query.sa_lo, query.sa_hi));
-      const double expected_noise = size * (1.0 - perturbed.retention) *
-                                    width / static_cast<double>(num_values);
-      matching = std::clamp((noisy - expected_noise) / perturbed.retention,
-                            0.0, size);
-    }
-    total += fraction * matching;
-  }
-  return total;
+  return PerturbedCore<false>(perturbed, index, query).estimate;
 }
 
 WorkloadError EvaluateWorkloadWithTruth(
@@ -180,6 +502,14 @@ WorkloadError EvaluateWorkloadWithTruth(
   }
   out.median_relative_error = median;
   return out;
+}
+
+WorkloadError EvaluateWorkloadWithTruth(
+    const std::vector<int64_t>& truth,
+    const std::vector<AggregateQuery>& workload, const Estimator& estimator) {
+  return EvaluateWorkloadWithTruth(
+      truth, workload,
+      [&estimator](const AggregateQuery& q) { return estimator.Estimate(q); });
 }
 
 }  // namespace betalike

@@ -12,6 +12,16 @@
 //     reconstruction — the randomized response is inverted in
 //     expectation before counting (Figure 9).
 //
+// All three shapes are served through one polymorphic interface:
+// MakeEstimator(PublishedView) resolves the shape the way
+// MakeAnonymizer resolves a scheme name, and the returned Estimator is
+// immutable after construction — its per-publication index (EcSaIndex
+// plus flattened per-EC box summaries) is precomputed once, so one
+// instance can answer queries from many threads concurrently (the
+// serve/ layer relies on this). Estimates are bit-identical to the
+// legacy per-shape free functions, which remain below as thin
+// deprecated wrappers.
+//
 // Workload-level accuracy is aggregated as median relative error, the
 // paper's Figures 8/9 metric.
 #ifndef BETALIKE_QUERY_ESTIMATOR_H_
@@ -19,21 +29,72 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "baseline/anatomy.h"
+#include "common/status.h"
 #include "data/table.h"
 #include "perturb/perturbation.h"
+#include "query/published_view.h"
 #include "query/workload.h"
 
 namespace betalike {
+
+// A point estimate plus the variance the estimator's own model assigns
+// to it. Box-spread terms use a clustered design effect — per class,
+// f(1-f)·m² rather than the independent-tuple binomial f(1-f)·m —
+// because real tuples land in a class's box in correlated clumps, not
+// independently; perturbed shapes add randomized-response
+// reconstruction noise. The serving layer turns the variance into a
+// confidence interval; `estimate` is always identical to Estimate().
+struct EstimateWithVariance {
+  double estimate = 0.0;
+  double variance = 0.0;
+};
+
+// Interface every publication shape's estimator implements.
+// Implementations are immutable after construction and safe to share
+// across threads.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  // Stable display name ("generalized", "anatomized", "perturbed").
+  virtual std::string Name() const = 0;
+
+  // COUNT(*) estimate of `query` over the wrapped publication,
+  // bit-identical to the matching legacy free function below.
+  virtual double Estimate(const AggregateQuery& query) const = 0;
+
+  // As Estimate(), plus the model variance of the answer. The estimate
+  // field is computed by the identical operation sequence, so it
+  // equals Estimate(query) bitwise.
+  virtual EstimateWithVariance EstimateWithUncertainty(
+      const AggregateQuery& query) const = 0;
+};
+
+// Builds the estimator matching `view`'s shape, precomputing its
+// per-publication index once. The estimator shares ownership of the
+// underlying publication, so the view may be discarded. Fails on a
+// degenerate publication (no equivalence classes / groups, or a
+// perturbed view whose retention lies outside (0, 1]).
+Result<std::unique_ptr<Estimator>> MakeEstimator(const PublishedView& view);
+
+// ---------------------------------------------------------------------------
+// Legacy per-shape entry points. DEPRECATED: new code should construct
+// an Estimator through MakeEstimator, which answers identically and
+// amortizes the per-publication index. These remain as thin wrappers
+// for callers holding a bare publication.
+// ---------------------------------------------------------------------------
 
 // Uniform-spread estimate of `query`'s count over `published`: every
 // equivalence class contributes its count of tuples matching the SA
 // predicate (all tuples when there is none) times Π_d
 // |box_d ∩ range_d| / |box_d| over the query's QI predicates, counting
 // integer points. This overload recounts SA matches by scanning each
-// class's rows — the reference path; benches use the indexed overload.
+// class's rows — the reference path; the Estimator uses an index.
 double EstimateFromGeneralized(const GeneralizedTable& published,
                                const AggregateQuery& query);
 
@@ -76,6 +137,12 @@ WorkloadError EvaluateWorkloadWithTruth(
     const std::vector<int64_t>& truth,
     const std::vector<AggregateQuery>& workload,
     const std::function<double(const AggregateQuery&)>& estimate);
+
+// As above over the unified interface: the fig8/fig9 benches evaluate
+// every publication shape through this one overload.
+WorkloadError EvaluateWorkloadWithTruth(
+    const std::vector<int64_t>& truth,
+    const std::vector<AggregateQuery>& workload, const Estimator& estimator);
 
 }  // namespace betalike
 

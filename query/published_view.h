@@ -1,0 +1,80 @@
+// One value type for "whatever a scheme published". The three
+// publication shapes the estimators answer from — generalized tables
+// (BUREL, Mondrian, SABRE), Anatomy's separate-table QIT/ST release,
+// and randomized-response-perturbed publications — used to reach the
+// query layer through three unrelated free-function signatures, so
+// every consumer (benches, the serving layer) had to know which shape
+// it held. A PublishedView erases that: it wraps exactly one shape
+// behind shared ownership (copies are cheap and alias the same
+// immutable publication), and MakeEstimator (query/estimator.h)
+// dispatches on its kind the way MakeAnonymizer dispatches on a scheme
+// name.
+#ifndef BETALIKE_QUERY_PUBLISHED_VIEW_H_
+#define BETALIKE_QUERY_PUBLISHED_VIEW_H_
+
+#include <memory>
+#include <utility>
+
+#include "baseline/anatomy.h"
+#include "data/table.h"
+#include "perturb/perturbation.h"
+
+namespace betalike {
+
+class PublishedView {
+ public:
+  enum class Kind {
+    kGeneralized,  // equivalence classes with QI bounding boxes
+    kAnatomized,   // exact QIT + per-group SA histograms
+    kPerturbed,    // generalized view over a randomized-response SA copy
+  };
+
+  static PublishedView Generalized(GeneralizedTable published) {
+    return PublishedView(
+        std::make_shared<const GeneralizedTable>(std::move(published)));
+  }
+  static PublishedView Anatomized(AnatomizedTable anatomized) {
+    return PublishedView(
+        std::make_shared<const AnatomizedTable>(std::move(anatomized)));
+  }
+  static PublishedView Perturbed(PerturbedPublication perturbed) {
+    return PublishedView(
+        std::make_shared<const PerturbedPublication>(std::move(perturbed)));
+  }
+
+  Kind kind() const { return kind_; }
+
+  // Shape accessors; calling the wrong one for kind() aborts (the
+  // shared_ptr getters below return null instead).
+  const GeneralizedTable& generalized() const { return *generalized_; }
+  const AnatomizedTable& anatomized() const { return *anatomized_; }
+  const PerturbedPublication& perturbed() const { return *perturbed_; }
+
+  // Owning handles, for estimators that must outlive this view.
+  const std::shared_ptr<const GeneralizedTable>& shared_generalized() const {
+    return generalized_;
+  }
+  const std::shared_ptr<const AnatomizedTable>& shared_anatomized() const {
+    return anatomized_;
+  }
+  const std::shared_ptr<const PerturbedPublication>& shared_perturbed() const {
+    return perturbed_;
+  }
+
+ private:
+  explicit PublishedView(std::shared_ptr<const GeneralizedTable> published)
+      : kind_(Kind::kGeneralized), generalized_(std::move(published)) {}
+  explicit PublishedView(std::shared_ptr<const AnatomizedTable> anatomized)
+      : kind_(Kind::kAnatomized), anatomized_(std::move(anatomized)) {}
+  explicit PublishedView(std::shared_ptr<const PerturbedPublication> perturbed)
+      : kind_(Kind::kPerturbed), perturbed_(std::move(perturbed)) {}
+
+  Kind kind_;
+  std::shared_ptr<const GeneralizedTable> generalized_;
+  std::shared_ptr<const AnatomizedTable> anatomized_;
+  std::shared_ptr<const PerturbedPublication> perturbed_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_QUERY_PUBLISHED_VIEW_H_

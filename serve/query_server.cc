@@ -1,0 +1,143 @@
+#include "serve/query_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace betalike {
+
+Result<double> NormalCriticalValue(double confidence) {
+  // Fixed two-sided z values; shortest decimal round-trips of the
+  // exact doubles.
+  if (confidence == 0.90) return 1.6448536269514722;
+  if (confidence == 0.95) return 1.959963984540054;
+  if (confidence == 0.99) return 2.5758293035489004;
+  return Status::InvalidArgument(
+      "unsupported confidence level (use 0.90, 0.95, or 0.99)");
+}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Create(
+    std::shared_ptr<const Estimator> estimator,
+    const QueryServerOptions& options) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("estimator must not be null");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.chunk_size < 1) {
+    return Status::InvalidArgument("chunk_size must be >= 1");
+  }
+  Result<double> z = NormalCriticalValue(options.confidence);
+  if (!z.ok()) return z.status();
+  return std::unique_ptr<QueryServer>(
+      new QueryServer(std::move(estimator), options, *z));
+}
+
+QueryServer::QueryServer(std::shared_ptr<const Estimator> estimator,
+                         const QueryServerOptions& options, double z)
+    : estimator_(std::move(estimator)),
+      options_(options),
+      z_(z),
+      histograms_(options.num_workers) {
+  // Worker 0 is the calling thread; spawn the rest of the pool.
+  threads_.reserve(options_.num_workers - 1);
+  for (int w = 1; w < options_.num_workers; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::vector<ServedAnswer> QueryServer::AnswerBatch(Span<AggregateQuery> batch) {
+  std::vector<ServedAnswer> answers(batch.size());
+  if (batch.empty()) return answers;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    answers_ = &answers;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates as worker 0, then waits out the pool.
+  WorkOn(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    answers_ = nullptr;
+    batch_ = Span<AggregateQuery>();
+  }
+  return answers;
+}
+
+void QueryServer::WorkOn(int worker) {
+  const size_t chunk = static_cast<size_t>(options_.chunk_size);
+  LatencyHistogram& hist = histograms_[worker];
+  for (;;) {
+    const size_t begin =
+        next_chunk_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= batch_.size()) return;
+    const size_t end = std::min(begin + chunk, batch_.size());
+    for (size_t i = begin; i < end; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      const EstimateWithVariance ev =
+          estimator_->EstimateWithUncertainty(batch_[i]);
+      const double sd =
+          DeterministicSqrt(ev.variance > 0.0 ? ev.variance : 0.0);
+      // +0.5 continuity correction: the interval is for an integer
+      // count estimated by a continuous model.
+      const double half = z_ * sd + 0.5;
+      ServedAnswer& out = (*answers_)[i];
+      out.estimate = ev.estimate;
+      out.ci_lo = ev.estimate - half > 0.0 ? ev.estimate - half : 0.0;
+      out.ci_hi = ev.estimate + half;
+      const auto stop = std::chrono::steady_clock::now();
+      hist.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+              .count()));
+    }
+  }
+}
+
+void QueryServer::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    WorkOn(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+LatencyHistogram QueryServer::MergedHistogram() const {
+  LatencyHistogram merged;
+  for (const LatencyHistogram& h : histograms_) merged.Merge(h);
+  return merged;
+}
+
+void QueryServer::ResetHistograms() {
+  for (LatencyHistogram& h : histograms_) h.Reset();
+}
+
+}  // namespace betalike

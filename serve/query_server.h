@@ -1,0 +1,125 @@
+// Batched, multi-threaded COUNT(*) serving over one anonymized
+// publication (the ROADMAP's "millions of users" layer).
+//
+// A QueryServer owns a shared, immutable Estimator (query/estimator.h)
+// and a pool of persistent worker threads. AnswerBatch() splits the
+// batch into fixed-size chunks claimed off an atomic cursor; every
+// answer depends only on its query and the immutable estimator, so the
+// result vector is bit-identical for any worker count or scheduling
+// order.
+//
+// Each answer carries a confidence interval derived from the
+// estimator's model variance (clustered design-effect spread variance
+// aggregated across contributing classes, plus reconstruction noise
+// for perturbed publications): half-width = z · sqrt(variance) + 0.5,
+// computed with integer/IEEE arithmetic only (Newton's method sqrt, a
+// fixed z table) so served intervals are identical across platforms —
+// no libm.
+#ifndef BETALIKE_SERVE_QUERY_SERVER_H_
+#define BETALIKE_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deterministic_math.h"
+#include "common/span.h"
+#include "common/status.h"
+#include "query/estimator.h"
+#include "serve/latency_histogram.h"
+
+namespace betalike {
+
+// Two-sided standard-normal critical value for the supported
+// confidence levels (0.90, 0.95, 0.99); InvalidArgument otherwise.
+// Fixed constants, not an erf⁻¹ evaluation, for cross-platform
+// identity.
+Result<double> NormalCriticalValue(double confidence);
+
+// One served answer: the point estimate (bit-identical to
+// Estimator::Estimate) and a confidence interval at the server's
+// configured level. ci_lo is clamped at 0 (counts are non-negative).
+struct ServedAnswer {
+  double estimate = 0.0;
+  double ci_lo = 0.0;
+  double ci_hi = 0.0;
+};
+
+struct QueryServerOptions {
+  // Total workers answering a batch, *including* the calling thread:
+  // 1 answers inline, n spawns n-1 pool threads.
+  int num_workers = 1;
+  // Nominal two-sided coverage of the served intervals.
+  double confidence = 0.95;
+  // Queries claimed per cursor increment. Large enough to amortize the
+  // atomic, small enough to balance a skewed batch.
+  int chunk_size = 64;
+};
+
+class QueryServer {
+ public:
+  // Validates the options (non-null estimator, num_workers ≥ 1,
+  // chunk_size ≥ 1, supported confidence) and starts the pool.
+  static Result<std::unique_ptr<QueryServer>> Create(
+      std::shared_ptr<const Estimator> estimator,
+      const QueryServerOptions& options);
+
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // Answers every query in `batch`, in order. Deterministic: the
+  // result depends only on the batch and the publication, never on
+  // num_workers or thread scheduling. Not itself thread-safe — one
+  // batch at a time (workers parallelize within the batch).
+  std::vector<ServedAnswer> AnswerBatch(Span<AggregateQuery> batch);
+
+  // Per-worker latency histogram of individual query service times
+  // (worker 0 is the calling thread). Snapshots between batches.
+  const LatencyHistogram& worker_histogram(int worker) const {
+    return histograms_[worker];
+  }
+  // All workers' histograms merged.
+  LatencyHistogram MergedHistogram() const;
+  void ResetHistograms();
+
+  int num_workers() const { return options_.num_workers; }
+  double confidence() const { return options_.confidence; }
+
+ private:
+  QueryServer(std::shared_ptr<const Estimator> estimator,
+              const QueryServerOptions& options, double z);
+
+  // Answers chunks off next_chunk_ until the batch is exhausted,
+  // recording per-query latency into histograms_[worker].
+  void WorkOn(int worker);
+  void WorkerLoop(int worker);
+
+  const std::shared_ptr<const Estimator> estimator_;
+  const QueryServerOptions options_;
+  const double z_;  // critical value for options_.confidence
+
+  // Current batch, published to workers under mu_.
+  Span<AggregateQuery> batch_;
+  std::vector<ServedAnswer>* answers_ = nullptr;
+  std::atomic<size_t> next_chunk_{0};
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // caller waits for active_ == 0
+  uint64_t generation_ = 0;           // bumped per batch
+  int active_ = 0;                    // pool workers still in WorkOn
+  bool shutdown_ = false;
+
+  std::vector<LatencyHistogram> histograms_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_SERVE_QUERY_SERVER_H_

@@ -10,8 +10,11 @@
 
 #include "census/census.h"
 #include "common/random.h"
+#include "perturb/perturbation.h"
 #include "query/estimator.h"
+#include "query/published_view.h"
 #include "query/workload.h"
+#include "serve/query_server.h"
 #include "tests/betalike_test.h"
 
 namespace betalike {
@@ -442,6 +445,151 @@ TEST(Estimator, EvenWorkloadMedianAveragesTheMiddlePair) {
       [&](const AggregateQuery&) { return estimates[next++]; });
   EXPECT_NEAR(error.median_relative_error, 40.0, 1e-12);
   EXPECT_NEAR(error.mean_relative_error, 70.0, 1e-12);
+}
+
+// Mod-k row partition of `table` (coarse boxes with mixed SA), the
+// generalized publication the interface tests answer from.
+GeneralizedTable ModKPublication(const std::shared_ptr<const Table>& table,
+                                 int k) {
+  std::vector<std::vector<int64_t>> ec_rows(k);
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows[row % k].push_back(row);
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  BETALIKE_CHECK(published.ok()) << published.status().ToString();
+  return std::move(published).value();
+}
+
+std::vector<AggregateQuery> MixedWorkload(const TableSchema& schema,
+                                          bool include_sa, uint64_t seed) {
+  WorkloadOptions options;
+  options.num_queries = 150;
+  options.lambda = 2;
+  options.include_sa = include_sa;
+  options.seed = seed;
+  auto workload = GenerateWorkload(schema, options);
+  BETALIKE_CHECK(workload.ok()) << workload.status().ToString();
+  return std::move(workload).value();
+}
+
+std::unique_ptr<Estimator> MakeEstimatorOrDie(const PublishedView& view) {
+  auto estimator = MakeEstimator(view);
+  BETALIKE_CHECK(estimator.ok()) << estimator.status().ToString();
+  return std::move(estimator).value();
+}
+
+// The unified interface must answer *bit-identically* to the legacy
+// free functions (the fig8/fig9 goldens depend on it), hence EXPECT_EQ
+// on raw doubles, not EXPECT_NEAR.
+TEST(EstimatorInterface, GeneralizedMatchesFreeFunctionExactly) {
+  const auto table = SmallCensus(1500);
+  const GeneralizedTable published = ModKPublication(table, 7);
+  const EcSaIndex index(published);
+  const auto estimator =
+      MakeEstimatorOrDie(PublishedView::Generalized(published));
+  EXPECT_EQ(estimator->Name(), std::string("generalized"));
+
+  for (bool include_sa : {false, true}) {
+    const auto workload =
+        MixedWorkload(table->schema(), include_sa, include_sa ? 71 : 73);
+    for (const AggregateQuery& query : workload) {
+      const double expected = EstimateFromGeneralized(published, index, query);
+      EXPECT_EQ(estimator->Estimate(query), expected);
+      const EstimateWithVariance ev =
+          estimator->EstimateWithUncertainty(query);
+      EXPECT_EQ(ev.estimate, expected);
+      EXPECT_GE(ev.variance, 0.0);
+    }
+  }
+}
+
+TEST(EstimatorInterface, AnatomizedMatchesFreeFunctionExactly) {
+  const auto table = SmallCensus(1200);
+  const AnatomizedTable view =
+      AnatomizedTable::FromGrouping(ModKPublication(table, 6));
+  const auto estimator =
+      MakeEstimatorOrDie(PublishedView::Anatomized(view));
+  EXPECT_EQ(estimator->Name(), std::string("anatomized"));
+
+  for (bool include_sa : {false, true}) {
+    const auto workload =
+        MixedWorkload(table->schema(), include_sa, include_sa ? 79 : 83);
+    for (const AggregateQuery& query : workload) {
+      const double expected = EstimateFromAnatomized(view, query);
+      EXPECT_EQ(estimator->Estimate(query), expected);
+      EXPECT_EQ(estimator->EstimateWithUncertainty(query).estimate, expected);
+    }
+  }
+}
+
+TEST(EstimatorInterface, PerturbedMatchesFreeFunctionExactly) {
+  const auto table = SmallCensus(1200);
+  const GeneralizedTable published = ModKPublication(table, 5);
+  PerturbOptions options;
+  options.retention = 0.7;
+  options.seed = 97;
+  auto perturbed = PerturbSaWithinEcs(published, options);
+  ASSERT_OK(perturbed);
+  const EcSaIndex index(perturbed->view);
+  const auto estimator =
+      MakeEstimatorOrDie(PublishedView::Perturbed(*perturbed));
+  EXPECT_EQ(estimator->Name(), std::string("perturbed"));
+
+  for (bool include_sa : {false, true}) {
+    const auto workload =
+        MixedWorkload(table->schema(), include_sa, include_sa ? 89 : 91);
+    for (const AggregateQuery& query : workload) {
+      const double expected = EstimateFromPerturbed(*perturbed, index, query);
+      EXPECT_EQ(estimator->Estimate(query), expected);
+      EXPECT_EQ(estimator->EstimateWithUncertainty(query).estimate, expected);
+    }
+  }
+}
+
+TEST(EstimatorInterface, RejectsInvalidRetention) {
+  const auto table = SmallCensus(200);
+  auto perturbed = PerturbSaWithinEcs(ModKPublication(table, 3), {});
+  ASSERT_OK(perturbed);
+  perturbed->retention = 0.0;  // a reconstruction divide-by-zero
+  EXPECT_FALSE(
+      MakeEstimator(PublishedView::Perturbed(std::move(*perturbed))).ok());
+}
+
+// AnswerBatch fans the batch across a worker pool; every answer is a
+// pure function of its query, so the full ServedAnswer vector must be
+// bit-identical for 1, 2, and 8 workers.
+TEST(QueryServer, AnswerBatchDeterministicAcrossWorkerCounts) {
+  const auto table = SmallCensus(2000);
+  const std::shared_ptr<const Estimator> estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 11)));
+
+  for (bool include_sa : {false, true}) {
+    const auto workload =
+        MixedWorkload(table->schema(), include_sa, include_sa ? 101 : 103);
+    std::vector<std::vector<ServedAnswer>> results;
+    for (int workers : {1, 2, 8}) {
+      QueryServerOptions options;
+      options.num_workers = workers;
+      options.chunk_size = 16;  // several chunks per worker
+      auto server = QueryServer::Create(estimator, options);
+      ASSERT_OK(server);
+      results.push_back((*server)->AnswerBatch(workload));
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].size(), results[0].size());
+      for (size_t q = 0; q < results[0].size(); ++q) {
+        EXPECT_EQ(results[i][q].estimate, results[0][q].estimate);
+        EXPECT_EQ(results[i][q].ci_lo, results[0][q].ci_lo);
+        EXPECT_EQ(results[i][q].ci_hi, results[0][q].ci_hi);
+      }
+    }
+    // The answers are the estimator's own, interval-wrapped.
+    for (size_t q = 0; q < results[0].size(); ++q) {
+      EXPECT_EQ(results[0][q].estimate, estimator->Estimate(workload[q]));
+      EXPECT_LE(results[0][q].ci_lo, results[0][q].estimate);
+      EXPECT_LE(results[0][q].estimate, results[0][q].ci_hi);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,240 @@
+// serve/ subsystem tests: the libm-free sqrt against <cmath>, the
+// fixed z table, latency-histogram bucketing/quantiles, QueryServer
+// option validation, Span slicing, and the served confidence
+// intervals — exact half-width on a degenerate (one-row-per-EC)
+// publication and empirical coverage where the uniform-spread model
+// actually holds.
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/span.h"
+#include "query/estimator.h"
+#include "query/published_view.h"
+#include "query/workload.h"
+#include "serve/latency_histogram.h"
+#include "serve/query_server.h"
+#include "tests/betalike_test.h"
+
+namespace betalike {
+namespace {
+
+// Uniform table with wide domains: per-EC boxes of any partition are
+// uniformly filled, so the estimator's binomial variance model is the
+// true sampling law and nominal coverage should hold.
+std::shared_ptr<const Table> UniformWideTable(int64_t rows, uint64_t seed) {
+  const std::vector<QiSpec> qi_schema = {
+      {"A", 0, 999}, {"B", 0, 999}, {"C", 0, 999}};
+  const SaSpec sa_schema = {"S", 4};
+  Rng rng(seed);
+  std::vector<std::vector<int32_t>> qi_cols(qi_schema.size());
+  std::vector<int32_t> sa;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (auto& col : qi_cols) {
+      col.push_back(static_cast<int32_t>(rng.Below(1000)));
+    }
+    sa.push_back(static_cast<int32_t>(rng.Below(4)));
+  }
+  auto table = Table::Create(qi_schema, sa_schema, std::move(qi_cols),
+                             std::move(sa));
+  BETALIKE_CHECK(table.ok()) << table.status().ToString();
+  return std::make_shared<Table>(std::move(table).value());
+}
+
+GeneralizedTable ModKPublication(const std::shared_ptr<const Table>& table,
+                                 int k) {
+  std::vector<std::vector<int64_t>> ec_rows(k);
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows[row % k].push_back(row);
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  BETALIKE_CHECK(published.ok()) << published.status().ToString();
+  return std::move(published).value();
+}
+
+std::shared_ptr<const Estimator> MakeEstimatorOrDie(const PublishedView& view) {
+  auto estimator = MakeEstimator(view);
+  BETALIKE_CHECK(estimator.ok()) << estimator.status().ToString();
+  return std::move(estimator).value();
+}
+
+TEST(DeterministicSqrt, MatchesLibmAcrossMagnitudes) {
+  for (double x : {1e-12, 0.25, 0.5, 1.0, 2.0, 3.0, 100.0, 12345.678,
+                   1e6, 1e12, 7.389e4}) {
+    const double got = DeterministicSqrt(x);
+    const double expected = std::sqrt(x);
+    EXPECT_NEAR(got / expected, 1.0, 1e-12);
+  }
+}
+
+TEST(DeterministicSqrt, ZeroForNonPositiveAndNan) {
+  EXPECT_EQ(DeterministicSqrt(0.0), 0.0);
+  EXPECT_EQ(DeterministicSqrt(-4.0), 0.0);
+  EXPECT_EQ(DeterministicSqrt(std::nan("")), 0.0);
+}
+
+TEST(NormalCriticalValue, FixedTable) {
+  auto z90 = NormalCriticalValue(0.90);
+  auto z95 = NormalCriticalValue(0.95);
+  auto z99 = NormalCriticalValue(0.99);
+  ASSERT_OK(z90);
+  ASSERT_OK(z95);
+  ASSERT_OK(z99);
+  EXPECT_EQ(*z90, 1.6448536269514722);
+  EXPECT_EQ(*z95, 1.959963984540054);
+  EXPECT_EQ(*z99, 2.5758293035489004);
+  EXPECT_FALSE(NormalCriticalValue(0.80).ok());
+  EXPECT_FALSE(NormalCriticalValue(0.0).ok());
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram hist;
+  for (uint64_t n = 0; n < 16; ++n) hist.Record(n);
+  EXPECT_EQ(hist.count(), 16u);
+  // Direct-indexed region: quantiles resolve to the exact values.
+  EXPECT_EQ(hist.QuantileNanos(0.0), 0u);
+  EXPECT_EQ(hist.QuantileNanos(1.0), 15u);
+  EXPECT_EQ(hist.QuantileNanos(0.5), 7u);
+}
+
+TEST(LatencyHistogram, BoundedRelativeErrorAndMonotone) {
+  LatencyHistogram hist;
+  const std::vector<uint64_t> samples = {17,    90,    1000,   5000,
+                                         30000, 99999, 123456, 10000000};
+  for (uint64_t s : samples) hist.Record(s);
+  // The quantile is the bucket's upper edge: never below the true
+  // sample, at most 12.5% above (one sub-bucket of 8 per octave).
+  EXPECT_GE(hist.QuantileNanos(1.0), samples.back());
+  EXPECT_LE(hist.QuantileNanos(1.0),
+            samples.back() + samples.back() / 8 + 1);
+  uint64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const uint64_t value = hist.QuantileNanos(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(LatencyHistogram, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.QuantileNanos(1.0), 1000000u);
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.QuantileNanos(0.5), 0u);
+}
+
+TEST(Span, SliceClampsToBounds) {
+  const std::vector<int> v = {1, 2, 3, 4, 5};
+  const Span<int> all(v);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.Slice(1, 2).size(), 2u);
+  EXPECT_EQ(all.Slice(1, 2)[0], 2);
+  EXPECT_EQ(all.Slice(3, 100).size(), 2u);   // count clamped
+  EXPECT_EQ(all.Slice(100, 2).size(), 0u);   // offset clamped
+  EXPECT_TRUE(all.Slice(5, 1).empty());
+}
+
+TEST(QueryServer, CreateValidatesOptions) {
+  const auto table = UniformWideTable(200, /*seed=*/3);
+  const auto estimator =
+      MakeEstimatorOrDie(PublishedView::Generalized(ModKPublication(table, 2)));
+
+  EXPECT_FALSE(QueryServer::Create(nullptr, QueryServerOptions()).ok());
+
+  QueryServerOptions options;
+  options.num_workers = 0;
+  EXPECT_FALSE(QueryServer::Create(estimator, options).ok());
+
+  options = QueryServerOptions();
+  options.chunk_size = 0;
+  EXPECT_FALSE(QueryServer::Create(estimator, options).ok());
+
+  options = QueryServerOptions();
+  options.confidence = 0.5;
+  EXPECT_FALSE(QueryServer::Create(estimator, options).ok());
+
+  EXPECT_OK(QueryServer::Create(estimator, QueryServerOptions()));
+}
+
+TEST(QueryServer, ExactPublicationYieldsContinuityWidthOnly) {
+  // One row per EC: every box is a point, the estimate is exact, and
+  // the model variance is 0 — the interval is exactly est ± 0.5.
+  const auto table = UniformWideTable(300, /*seed=*/9);
+  std::vector<std::vector<int64_t>> ec_rows;
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    ec_rows.push_back({row});
+  }
+  auto published = GeneralizedTable::Create(table, std::move(ec_rows));
+  ASSERT_OK(published);
+  const auto estimator =
+      MakeEstimatorOrDie(PublishedView::Generalized(*published));
+  auto server = QueryServer::Create(estimator, QueryServerOptions());
+  ASSERT_OK(server);
+
+  WorkloadOptions options;
+  options.num_queries = 50;
+  options.lambda = 2;
+  options.selectivity = 0.2;
+  options.seed = 13;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+
+  const std::vector<ServedAnswer> answers = (*server)->AnswerBatch(*workload);
+  ASSERT_EQ(answers.size(), workload->size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const double actual = static_cast<double>(truth[i]);
+    EXPECT_NEAR(answers[i].estimate, actual, 1e-9);
+    EXPECT_EQ(answers[i].ci_hi, answers[i].estimate + 0.5);
+    const double expected_lo =
+        answers[i].estimate > 0.5 ? answers[i].estimate - 0.5 : 0.0;
+    EXPECT_EQ(answers[i].ci_lo, expected_lo);
+    EXPECT_LE(answers[i].ci_lo, actual);
+    EXPECT_GE(answers[i].ci_hi, actual);
+  }
+  // Worker 0 (the calling thread) recorded every query.
+  EXPECT_EQ((*server)->MergedHistogram().count(), workload->size());
+}
+
+TEST(QueryServer, CoverageNearNominalWhereModelHolds) {
+  // Coarse boxes over uniform data: the binomial uniform-spread model
+  // is the true law, so the nominal 95% intervals must cover the truth
+  // at roughly that rate (deterministic given the fixed seeds).
+  const auto table = UniformWideTable(20000, /*seed=*/21);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 8)));
+  QueryServerOptions server_options;
+  server_options.num_workers = 2;
+  auto server = QueryServer::Create(estimator, server_options);
+  ASSERT_OK(server);
+
+  WorkloadOptions options;
+  options.num_queries = 400;
+  options.lambda = 2;
+  options.selectivity = 0.1;
+  options.seed = 31;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<int64_t> truth = PreciseCounts(*table, *workload);
+
+  const std::vector<ServedAnswer> answers = (*server)->AnswerBatch(*workload);
+  int covered = 0;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    const double actual = static_cast<double>(truth[i]);
+    if (actual >= answers[i].ci_lo && actual <= answers[i].ci_hi) ++covered;
+  }
+  const double coverage =
+      static_cast<double>(covered) / static_cast<double>(answers.size());
+  EXPECT_GE(coverage, 0.85);
+  EXPECT_LE(coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace betalike
