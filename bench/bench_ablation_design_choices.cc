@@ -1,12 +1,18 @@
-// Ablations of the design choices DESIGN.md calls out:
-//   1. EC formation: Hilbert-curve bisection (this implementation's
-//      default) vs the paper's ECTree allocations + nearest-neighbour
-//      retrieval.
-//   2. Retrieval locality: Hilbert vs random tuple selection (ECTree path).
-//   3. Bucketization: DP (min-bucket-count) vs trivial one-value buckets
-//      (ECTree path), and the bucket packing headroom.
-//   4. Model strength: enhanced vs basic β-likeness — the max in-EC
-//      frequency basic mode allows on frequent values.
+// Ablations over the design knobs BurelOptions actually carries:
+//   1. Model strength: enhanced vs basic β-likeness — how much the
+//      ln(1/p_v) cap on rare values' gain buys in information loss,
+//      and what it costs the frequent values' in-EC frequency.
+//   2. Parallel formation: serial vs pooled bisection. The combine
+//      order is fixed, so the published ECs must be bit-identical
+//      (checked by FNV-1a over the full EC structure) — the thread
+//      count may only move wall-clock, never a row.
+//   3. Thread-count sweep: formation wall-clock at 1, 2, 4 and the
+//      hardware thread count, with the pool's task fan-out.
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
 #include "bench_util.h"
 #include "core/burel.h"
 #include "metrics/info_loss.h"
@@ -15,87 +21,121 @@
 namespace betalike {
 namespace {
 
-void FormationAblation(const std::shared_ptr<const Table>& table) {
-  std::printf("--- Ablation 1-3: EC formation / retrieval / buckets ---\n");
-  struct Config {
-    const char* name;
-    BurelOptions opts;
+// FNV-1a over the exact equivalence-class structure (sizes and member
+// rows in emission order) — the same pin the golden regression tests
+// use: equal hashes mean the publications are identical row-for-row.
+uint64_t EcStructureHash(const GeneralizedTable& published) {
+  uint64_t hash = 1469598103934665603ULL;
+  const auto mix = [&hash](uint64_t x) {
+    hash ^= x;
+    hash *= 1099511628211ULL;
   };
-  std::vector<Config> configs;
-  {
-    BurelOptions o;
-    o.beta = 4.0;
-    configs.push_back({"curve-bisection (default)", o});
+  for (size_t i = 0; i < published.num_ecs(); ++i) {
+    const EquivalenceClass& ec = published.ec(i);
+    mix(static_cast<uint64_t>(ec.size()));
+    for (int64_t row : ec.rows) mix(static_cast<uint64_t>(row));
   }
-  {
-    BurelOptions o;
-    o.beta = 4.0;
-    o.formation = BurelOptions::Formation::kEcTree;
-    configs.push_back({"ECTree + Hilbert retrieval (paper)", o});
-  }
-  {
-    BurelOptions o;
-    o.beta = 4.0;
-    o.formation = BurelOptions::Formation::kEcTree;
-    o.retrieval = RetrievalMode::kRandom;
-    configs.push_back({"ECTree + random retrieval", o});
-  }
-  {
-    BurelOptions o;
-    o.beta = 4.0;
-    o.formation = BurelOptions::Formation::kEcTree;
-    o.partition = BurelOptions::Partition::kTrivial;
-    configs.push_back({"ECTree + trivial buckets", o});
-  }
-  {
-    BurelOptions o;
-    o.beta = 4.0;
-    o.formation = BurelOptions::Formation::kEcTree;
-    o.bucket_headroom = 1.0;
-    configs.push_back({"ECTree + headroom 1.0 (paper packing)", o});
-  }
-  TextTable out({"configuration", "AIL", "ECs", "real beta"});
-  for (const Config& config : configs) {
-    auto pub = AnonymizeWithBurel(table, config.opts);
-    BETALIKE_CHECK(pub.ok()) << pub.status().ToString();
-    out.AddRow({config.name, StrFormat("%.4f", AverageInfoLoss(*pub)),
-                StrFormat("%zu", pub->num_ecs()),
-                StrFormat("%.3f", MeasuredBeta(*pub))});
-  }
-  std::printf("%s\n", out.ToString().c_str());
+  return hash;
+}
+
+GeneralizedTable PublishOrDie(const std::shared_ptr<const Table>& table,
+                              const BurelOptions& options,
+                              BurelProfile* profile = nullptr) {
+  auto published = AnonymizeWithBurel(table, options, profile);
+  BETALIKE_CHECK(published.ok()) << published.status().ToString();
+  return std::move(published).value();
 }
 
 void ModelAblation(const std::shared_ptr<const Table>& table) {
-  std::printf("--- Ablation 4: enhanced vs basic beta-likeness ---\n");
-  TextTable out({"mode", "beta", "AIL", "max in-EC frequency"});
-  for (double beta : {2.0, 8.0, 32.0}) {
-    for (auto mode : {BetaLikenessModel::Mode::kEnhanced,
-                      BetaLikenessModel::Mode::kBasic}) {
+  std::printf("--- Ablation 1: enhanced vs basic beta-likeness ---\n");
+  TextTable out({"mode", "beta", "AIL", "ECs", "real beta"});
+  for (double beta : {1.0, 2.0, 4.0}) {
+    for (bool enhanced : {true, false}) {
       BurelOptions opts;
       opts.beta = beta;
-      opts.mode = mode;
-      auto pub = AnonymizeWithBurel(table, opts);
-      BETALIKE_CHECK(pub.ok()) << pub.status().ToString();
-      PrivacyAudit audit = AuditPrivacy(*pub);
-      out.AddRow({mode == BetaLikenessModel::Mode::kEnhanced ? "enhanced"
-                                                             : "basic",
-                  StrFormat("%.0f", beta),
-                  StrFormat("%.4f", AverageInfoLoss(*pub)),
-                  StrFormat("%.3f", audit.max_in_ec_frequency)});
+      opts.enhanced = enhanced;
+      const GeneralizedTable published = PublishOrDie(table, opts);
+      out.AddRow({enhanced ? "enhanced" : "basic", StrFormat("%.0f", beta),
+                  StrFormat("%.4f", AverageInfoLoss(published)),
+                  StrFormat("%zu", published.num_ecs()),
+                  StrFormat("%.3f", MeasuredBeta(published))});
     }
   }
   std::printf("%s\n", out.ToString().c_str());
 }
 
+void ParallelBitIdentity(const std::shared_ptr<const Table>& table) {
+  std::printf("--- Ablation 2: serial vs parallel formation ---\n");
+  BurelOptions serial;
+  serial.beta = 4.0;
+  serial.num_threads = 1;
+  const GeneralizedTable golden = PublishOrDie(table, serial);
+  const uint64_t golden_hash = EcStructureHash(golden);
+
+  TextTable out({"threads", "EC hash", "identical"});
+  out.AddRow({"1 (serial)", StrFormat("%016llx",
+                                      (unsigned long long)golden_hash),
+              "golden"});
+  for (int threads : {2, 4, 0}) {
+    BurelOptions opts = serial;
+    opts.num_threads = threads;
+    BurelProfile profile;
+    const GeneralizedTable published = PublishOrDie(table, opts, &profile);
+    const uint64_t hash = EcStructureHash(published);
+    BETALIKE_CHECK(hash == golden_hash)
+        << "parallel formation with num_threads=" << threads
+        << " diverged from the serial publication";
+    out.AddRow({threads == 0 ? StrFormat("%d (auto)", profile.threads)
+                             : StrFormat("%d", threads),
+                StrFormat("%016llx", (unsigned long long)hash), "yes"});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+void ThreadSweep(const std::shared_ptr<const Table>& table) {
+  std::printf("--- Ablation 3: formation wall-clock by thread count ---\n");
+  const int hw =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> counts = {1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+  TextTable out({"threads", "pool tasks", "form ms", "speedup"});
+  double serial_seconds = 0.0;
+  for (int threads : counts) {
+    BurelOptions opts;
+    opts.beta = 4.0;
+    opts.num_threads = threads;
+    // Best of 3: formation wall-clock, not the whole pipeline, so the
+    // sweep isolates what the pool actually parallelizes.
+    double best = 0.0;
+    BurelProfile profile;
+    for (int rep = 0; rep < 3; ++rep) {
+      PublishOrDie(table, opts, &profile);
+      if (rep == 0 || profile.form_seconds < best) {
+        best = profile.form_seconds;
+      }
+    }
+    if (threads == 1) serial_seconds = best;
+    out.AddRow({StrFormat("%d", threads),
+                StrFormat("%lld",
+                          static_cast<long long>(profile.parallel_tasks)),
+                StrFormat("%.3f", best * 1e3),
+                StrFormat("%.2fx", serial_seconds / best)});
+  }
+  std::printf("%s\n", out.ToString().c_str());
+}
+
 void Run() {
+  const int64_t rows = bench::DefaultRows() / 5;
   bench::PrintHeader(
-      "Ablations: formation, retrieval, bucketization, model strength",
-      "curve bisection < ECTree+Hilbert < ECTree+random on AIL; headroom "
-      "1.0 degenerates; basic mode lets frequent values reach higher "
-      "in-EC frequencies at large beta");
-  auto table = bench::MakeCensus(bench::DefaultRows() / 2, /*qi_prefix=*/3);
-  FormationAblation(table);
+      "Ablations: model strength, parallel formation, thread sweep",
+      "basic mode loses less information but concedes higher in-EC "
+      "frequencies; parallel formation is bit-identical to serial at "
+      "every thread count; speedup tracks physical cores",
+      rows);
+  auto table = bench::MakeCensus(rows, /*qi_prefix=*/3);
   ModelAblation(table);
+  ParallelBitIdentity(table);
+  ThreadSweep(table);
 }
 
 }  // namespace

@@ -131,6 +131,24 @@ int Run() {
     harness.Record(std::move(stat));
   }
 
+  // Parallel formation at the hardware thread count, against the
+  // serial end-to-end above. The combine order is fixed, so the
+  // publication must be structurally identical — speedup is the only
+  // thing allowed to move.
+  BurelOptions par = opts;
+  par.num_threads = 0;  // auto: hardware concurrency
+  BurelProfile par_profile;
+  Result<GeneralizedTable> par_published = Status::InvalidArgument("unset");
+  const bench::MicroStat par_end_to_end = harness.Run(
+      "burel_parallel_end_to_end", rows,
+      [&] { par_published = AnonymizeWithBurel(table, par, &par_profile); });
+  BETALIKE_CHECK(par_published.ok()) << par_published.status().ToString();
+  BETALIKE_CHECK(par_published->num_ecs() == published->num_ecs())
+      << "parallel formation changed the EC count";
+  BETALIKE_CHECK(AverageInfoLoss(*par_published) ==
+                 AverageInfoLoss(*published))
+      << "parallel formation moved the AIL";
+
   // The baseline the paper's time plots compare against.
   Result<GeneralizedTable> mondrian = Status::InvalidArgument("unset");
   harness.Run("lmondrian_end_to_end", rows, [&] {
@@ -142,6 +160,12 @@ int Run() {
   std::printf("# AIL: BUREL %.4f vs LMondrian %.4f; nodes=%lld ecs=%zu\n",
               AverageInfoLoss(*published), AverageInfoLoss(*mondrian),
               static_cast<long long>(profile.nodes), published->num_ecs());
+  std::printf(
+      "# parallel: threads=%d tasks=%lld speedup=%.2fx "
+      "(serial %.3fms / parallel %.3fms)\n",
+      par_profile.threads, static_cast<long long>(par_profile.parallel_tasks),
+      end_to_end.best_seconds / par_end_to_end.best_seconds,
+      end_to_end.best_seconds * 1e3, par_end_to_end.best_seconds * 1e3);
 
   const char* json_path_env = std::getenv("BENCH_MICRO_JSON");
   const std::string json_path =

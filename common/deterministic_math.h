@@ -7,15 +7,21 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 
 namespace betalike {
+
+inline constexpr double kDoubleInfinity =
+    std::numeric_limits<double>::infinity();
 
 // Newton's-method square root: exponent-halving initial guess via the
 // bit pattern, then five iterations of y ← (y + x/y) / 2 — full
 // double precision over the magnitudes the estimators produce.
-// Returns 0 for x ≤ 0 or NaN.
+// Returns 0 for x ≤ 0 or NaN, and +inf for +inf (the iteration would
+// otherwise reach inf/inf = NaN on the second step).
 inline double DeterministicSqrt(double x) {
   if (!(x > 0.0)) return 0.0;  // also catches NaN
+  if (x == kDoubleInfinity) return x;
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(x), "double is not 64-bit");
   std::memcpy(&bits, &x, sizeof(bits));

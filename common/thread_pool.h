@@ -1,0 +1,128 @@
+// Small deterministic task pool for fanning independent work units out
+// over a fixed number of threads (BUREL's parallel formation, tests).
+//
+// The pool supplies execution only, never ordering: Submit() returns a
+// std::future per task, and callers combine results in an order of
+// their own (submission index, tree order, ...), so outputs stay
+// bit-identical for any thread count or scheduling. Exceptions thrown
+// by a task travel through its future and rethrow at get().
+//
+// A pool of 0 threads is valid and fully serial: tasks queue until a
+// caller drains them via RunOnePending() or GetAndHelp(). GetAndHelp()
+// is also what makes nested submission safe — a task that submits
+// subtasks and waits on them through GetAndHelp() lends its thread to
+// the queue instead of blocking it, so the pool cannot deadlock on its
+// own work.
+#ifndef BETALIKE_COMMON_THREAD_POOL_H_
+#define BETALIKE_COMMON_THREAD_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace betalike {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` worker threads; values below zero clamp to
+  // zero (a queue-only pool driven entirely by its callers).
+  explicit ThreadPool(int num_threads) {
+    if (num_threads < 0) num_threads = 0;
+    threads_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // Runs every still-queued task (their futures stay valid), then
+  // joins the workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    while (RunOnePending()) {
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueues `fn` and returns the future of its result. Safe from any
+  // thread, including pool workers (nested submission).
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Runs one queued task on the calling thread; false if the queue was
+  // empty. How callers with no pool threads (or idle time while they
+  // wait) lend their own thread.
+  bool RunOnePending() {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) return false;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  // Waits for `future`, running queued tasks meanwhile; rethrows the
+  // task's exception if it failed. Blocks (without spinning) only once
+  // the queue is empty — some other worker then owns the awaited task.
+  template <typename T>
+  T GetAndHelp(std::future<T> future) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOnePending()) future.wait();
+    }
+    return future.get();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown, nothing left to run
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_COMMON_THREAD_POOL_H_

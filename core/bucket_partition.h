@@ -19,6 +19,14 @@ struct BurelOptions {
   double beta = 1.0;
   // Enhanced model caps the allowed gain at ln(1/p_v) for rare values.
   bool enhanced = true;
+  // Formation worker threads, including the calling thread: 1 (the
+  // default) runs serially, 0 uses one worker per hardware thread,
+  // k > 1 uses exactly k. The published output is bit-identical for
+  // every setting — threads change wall-clock only.
+  int num_threads = 1;
+  // Bisection depth at which independent subtrees become pool tasks
+  // (up to 2^depth tasks). Only read when more than one worker runs.
+  int parallel_cutoff_depth = 3;
 };
 
 // Ok iff `options` carries a positive finite β.

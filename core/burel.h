@@ -33,6 +33,9 @@ namespace betalike {
 
 // Component wall-clock breakdown of one AnonymizeWithBurel call, for
 // the micro bench (bench_micro_components) and perf regression tests.
+// When the run is parallel (threads > 1), the per-section seconds are
+// summed across workers — CPU seconds, not wall-clock; form_seconds is
+// the wall-clock of the whole bisection step.
 struct BurelProfile {
   double encode_seconds = 0.0;     // bulk Hilbert key computation
   double sort_seconds = 0.0;       // radix sort of the keys
@@ -41,8 +44,11 @@ struct BurelProfile {
   double sweep_seconds = 0.0;      // prefix/suffix feasibility sweeps
   double axis_seconds = 0.0;       // axis-median cut evaluation
   double partition_seconds = 0.0;  // applying the winning axis cuts
+  double form_seconds = 0.0;       // wall-clock of the full bisection
   int64_t nodes = 0;               // bisection nodes visited
   int64_t leaves = 0;              // equivalence classes emitted
+  int threads = 1;                 // formation workers used
+  int64_t parallel_tasks = 0;      // subtree tasks handed to the pool
 };
 
 // Anonymizes `table` so that the result satisfies β-likeness under

@@ -20,27 +20,30 @@ constexpr int kMaxDims = 64;
 constexpr int64_t kBlockRows = 1024;
 
 // Skilling's in-place transform (AIP Conf. Proc. 707, 2004): turns
-// coordinates into the transposed Hilbert index.
+// coordinates into the transposed Hilbert index. The level bits steer
+// reflect-vs-swap through sign-extended masks instead of branches: the
+// bits are data-dependent coin flips, so branching on them mispredicts
+// roughly every other (level, dim) step and dominates the encode cost.
 void AxesToTranspose(uint32_t* x, int n, int bits) {
-  const uint32_t top = 1u << (bits - 1);
-  // Inverse undo.
-  for (uint32_t q = top; q > 1; q >>= 1) {
-    const uint32_t p = q - 1;
+  // Inverse undo: at each level, x[i]'s level bit selects between
+  // reflecting x[0]'s low bits and swapping them with x[i]'s. When the
+  // bit is set `t` collapses to zero and `p & m` applies the
+  // reflection; when clear `p & m` is zero and `t` carries the swap —
+  // the exclusive cases of the original branch, merged into one xor.
+  for (int b = bits - 1; b >= 1; --b) {
+    const uint32_t p = (1u << b) - 1u;
     for (int i = 0; i < n; ++i) {
-      if (x[i] & q) {
-        x[0] ^= p;
-      } else {
-        const uint32_t t = (x[0] ^ x[i]) & p;
-        x[0] ^= t;
-        x[i] ^= t;
-      }
+      const uint32_t m = 0u - ((x[i] >> b) & 1u);
+      const uint32_t t = (x[0] ^ x[i]) & p & ~m;
+      x[0] ^= (p & m) | t;
+      x[i] ^= t;
     }
   }
   // Gray encode.
   for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
   uint32_t t = 0;
-  for (uint32_t q = top; q > 1; q >>= 1) {
-    if (x[n - 1] & q) t ^= q - 1;
+  for (int b = bits - 1; b >= 1; --b) {
+    t ^= ((1u << b) - 1u) & (0u - ((x[n - 1] >> b) & 1u));
   }
   for (int i = 0; i < n; ++i) x[i] ^= t;
 }
@@ -183,29 +186,66 @@ std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
     spread[byte] = s;
   }
 
-  // Block-wise: scale each column's slice in a linear pass (axis codes
-  // land row-major in `block`), then run the per-row transform over the
-  // L1-resident block.
+  // Block-wise over a column-major view: axis codes land one dimension
+  // per contiguous lane array, so the Skilling transform runs as
+  // uniform level passes that vectorize across rows (each pass touches
+  // two L1-resident lanes). The Gray encode, the per-row twist `t`
+  // (closed form below), and the interleave fuse into the final
+  // per-row pass instead of taking lane passes of their own.
   std::vector<uint32_t> block(static_cast<size_t>(kBlockRows) * dims);
   for (int64_t lo = 0; lo < n; lo += kBlockRows) {
     const int64_t count = std::min(kBlockRows, n - lo);
     for (int d = 0; d < dims; ++d) {
       const int32_t* column = table.qi_column(d).data() + lo;
       const DimScale scale = scales[d];
-      uint32_t* out = block.data() + d;
+      uint32_t* out = block.data() + d * kBlockRows;
       for (int64_t i = 0; i < count; ++i) {
-        out[i * dims] = scale.Axis(column[i]);
+        out[i] = scale.Axis(column[i]);
+      }
+    }
+    // Inverse undo (see AxesToTranspose): identical mask algebra, with
+    // the row index innermost. The d == 0 pass needs no swap term —
+    // x[0] xored with itself is zero — leaving only the reflection.
+    uint32_t* x0 = block.data();
+    for (int b = bits - 1; b >= 1; --b) {
+      const uint32_t p = (1u << b) - 1u;
+      for (int64_t i = 0; i < count; ++i) {
+        x0[i] ^= p & (0u - ((x0[i] >> b) & 1u));
+      }
+      for (int d = 1; d < dims; ++d) {
+        uint32_t* xd = block.data() + d * kBlockRows;
+        for (int64_t i = 0; i < count; ++i) {
+          const uint32_t m = 0u - ((xd[i] >> b) & 1u);
+          const uint32_t t = (x0[i] ^ xd[i]) & p & ~m;
+          x0[i] ^= (p & m) | t;
+          xd[i] ^= t;
+        }
       }
     }
     for (int64_t i = 0; i < count; ++i) {
-      uint32_t* x = block.data() + i * dims;
-      AxesToTranspose(x, dims, bits);
-      // Interleave via the spread table: axis d contributes its bits at
-      // stride dims, offset dims - 1 - d (most significant level
-      // first), matching TransposeToKey bit-for-bit.
+      // Gray encode as a running xor: after `for (d) x[d] ^= x[d - 1]`
+      // each axis holds the xor of itself and every axis before it.
+      // The final twist `t` xors in (2^b - 1) for every set level bit
+      // b >= 1 of the last gray axis, so bit j of t is the parity of
+      // the bits strictly above j — the suffix-xor fold of g >> 1.
+      uint32_t gray = 0;
       uint64_t key = 0;
+      for (int d = dims - 1; d >= 0; --d) {
+        gray ^= block[static_cast<size_t>(d) * kBlockRows + i];
+      }
+      uint32_t t = gray >> 1;
+      t ^= t >> 1;
+      t ^= t >> 2;
+      t ^= t >> 4;
+      t ^= t >> 8;
+      t ^= t >> 16;
+      // Interleave via the spread table: axis d contributes its bits
+      // at stride dims, offset dims - 1 - d (most significant level
+      // first), matching TransposeToKey bit-for-bit.
+      gray = 0;
       for (int d = 0; d < dims; ++d) {
-        const uint32_t axis = x[d];
+        gray ^= block[static_cast<size_t>(d) * kBlockRows + i];
+        const uint32_t axis = gray ^ t;
         uint64_t lanes = spread[axis & 0xff];
         if (bits > 8) lanes |= spread[(axis >> 8) & 0xff] << (8 * dims);
         key |= lanes << (dims - 1 - d);

@@ -29,8 +29,15 @@ class LatencyHistogram {
     if (total_ == 0) return 0;
     if (q < 0.0) q = 0.0;
     if (q > 1.0) q = 1.0;
-    // Rank of the quantile sample, 1-based.
-    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_));
+    // Rank of the quantile sample, 1-based: ceil(q * total), the
+    // nearest-rank definition. Truncating instead rounds the rank
+    // down whenever q * total is fractional, which reports the sample
+    // one below the quantile — e.g. p99 of 100 distinct samples came
+    // back as the 99th-smallest bucket's edge but p99.9 as the 99th
+    // too, instead of the 100th.
+    const double exact = q * static_cast<double>(total_);
+    uint64_t rank = static_cast<uint64_t>(exact);
+    if (static_cast<double>(rank) < exact) ++rank;
     if (rank == 0) rank = 1;
     if (rank > total_) rank = total_;
     uint64_t seen = 0;

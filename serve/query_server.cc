@@ -102,7 +102,12 @@ void QueryServer::WorkOn(int worker) {
       ServedAnswer& out = (*answers_)[i];
       out.estimate = ev.estimate;
       out.ci_lo = ev.estimate - half > 0.0 ? ev.estimate - half : 0.0;
-      out.ci_hi = ev.estimate + half;
+      // An infinite variance (or any arithmetic that poisons `half`)
+      // must widen the interval, never invalidate it: a NaN upper
+      // bound fails every coverage comparison, so clamp it to +inf —
+      // "no upper bound" — instead.
+      const double hi = ev.estimate + half;
+      out.ci_hi = hi == hi ? hi : kDoubleInfinity;
       const auto stop = std::chrono::steady_clock::now();
       hist.Record(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)

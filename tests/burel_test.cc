@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <thread>
 
 #include "baseline/mondrian.h"
 #include "census/census.h"
@@ -114,6 +115,47 @@ TEST(Burel, DeterministicAcrossRuns) {
   ASSERT_OK(b);
   EXPECT_EQ(a->num_ecs(), b->num_ecs());
   EXPECT_NEAR(AverageInfoLoss(*a), AverageInfoLoss(*b), 0.0);
+}
+
+// Bit-identity across thread counts: the parallel formation combines
+// subtree results in fixed tree order, so every EC — rows, order, and
+// bounding boxes — must be exactly the serial structure no matter how
+// many workers ran it.
+TEST(Burel, BitIdenticalAcrossThreadCounts) {
+  auto table = CensusTable(10000, 3);
+  BurelOptions serial;
+  serial.beta = 2.0;
+  serial.num_threads = 1;
+  auto golden = AnonymizeWithBurel(table, serial);
+  ASSERT_OK(golden);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (int threads : {2, hw == 0 ? 4 : static_cast<int>(hw)}) {
+    BurelOptions options;
+    options.beta = 2.0;
+    options.num_threads = threads;
+    BurelProfile profile;
+    auto parallel = AnonymizeWithBurel(table, options, &profile);
+    ASSERT_OK(parallel);
+    EXPECT_EQ(profile.threads, threads);
+    ASSERT_EQ(parallel->num_ecs(), golden->num_ecs());
+    for (size_t i = 0; i < golden->num_ecs(); ++i) {
+      const EquivalenceClass& a = golden->ec(i);
+      const EquivalenceClass& b = parallel->ec(i);
+      EXPECT_TRUE(a.rows == b.rows);
+      EXPECT_TRUE(a.qi_min == b.qi_min);
+      EXPECT_TRUE(a.qi_max == b.qi_max);
+    }
+  }
+
+  // num_threads = 0 resolves to hardware concurrency and must land on
+  // the same structure too.
+  BurelOptions auto_threads;
+  auto_threads.beta = 2.0;
+  auto_threads.num_threads = 0;
+  auto published = AnonymizeWithBurel(table, auto_threads);
+  ASSERT_OK(published);
+  EXPECT_EQ(published->num_ecs(), golden->num_ecs());
 }
 
 // The paper's headline comparison (Figures 5-7): BUREL loses less

@@ -5,6 +5,8 @@
 // publication and empirical coverage where the uniform-spread model
 // actually holds.
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -75,6 +77,24 @@ TEST(DeterministicSqrt, ZeroForNonPositiveAndNan) {
   EXPECT_EQ(DeterministicSqrt(std::nan("")), 0.0);
 }
 
+TEST(DeterministicSqrt, ExtremeMagnitudes) {
+  // +inf must propagate: the Newton iteration alone reaches
+  // inf / inf = NaN on its second step, which used to leak into the
+  // served ci_hi.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(DeterministicSqrt(inf), inf);
+  // Largest finite double: the exponent-halving guess keeps the
+  // iteration finite and convergent.
+  const double max = std::numeric_limits<double>::max();
+  EXPECT_NEAR(DeterministicSqrt(max) / std::sqrt(max), 1.0, 1e-9);
+  // Deep subnormal: the bit-pattern guess degrades (the exponent
+  // field is zero), but quadratic convergence still lands within 1%.
+  // DBL_TRUE_MIN itself is excluded — five iterations do not recover
+  // from the guess that far down.
+  const double tiny = 1e-310;
+  EXPECT_NEAR(DeterministicSqrt(tiny) / std::sqrt(tiny), 1.0, 1e-2);
+}
+
 TEST(NormalCriticalValue, FixedTable) {
   auto z90 = NormalCriticalValue(0.90);
   auto z95 = NormalCriticalValue(0.95);
@@ -115,6 +135,41 @@ TEST(LatencyHistogram, BoundedRelativeErrorAndMonotone) {
     EXPECT_GE(value, prev);
     prev = value;
   }
+}
+
+TEST(LatencyHistogram, NearestRankQuantilesOnDistinctBuckets) {
+  // Exactly 100 samples, each alone in its own bucket: the
+  // direct-indexed values 1..15, then sub-bucket-aligned values
+  // 2^m + s * 2^(m-3) from the log-linear octaves (bucket index
+  // (m, s), so every sample is distinct by construction).
+  LatencyHistogram hist;
+  std::vector<uint64_t> samples;
+  for (uint64_t v = 1; v <= 15; ++v) samples.push_back(v);
+  for (int m = 4; samples.size() < 100; ++m) {
+    for (uint64_t s = 0; s < 8 && samples.size() < 100; ++s) {
+      samples.push_back((uint64_t{1} << m) + (s << (m - 3)));
+    }
+  }
+  for (uint64_t v : samples) hist.Record(v);
+  ASSERT_EQ(hist.count(), 100u);
+  // Nearest-rank quantile: q resolves to the ceil(100 q)-th smallest
+  // sample, so percentile k must never come back below the k-th
+  // smallest sample. The truncating rank did exactly that whenever
+  // k / 100.0 rounded low — e.g. p29 truncated to rank 28 and
+  // reported the 28th sample's bucket, below the 29th sample.
+  // (Monotone but not strictly: rounding the other way can lift a
+  // rank by one, merging two adjacent percentiles.)
+  uint64_t prev = 0;
+  for (int k = 1; k <= 100; ++k) {
+    const uint64_t value = hist.QuantileNanos(k / 100.0);
+    EXPECT_GE(value, prev);
+    EXPECT_GE(value, samples[static_cast<size_t>(k) - 1]);
+    prev = value;
+  }
+  // Every q in (0.99, 1.0] has rank 100 — the maximum's bucket; the
+  // truncating rank sent p99.5 to rank 99 instead.
+  EXPECT_EQ(hist.QuantileNanos(0.995), hist.QuantileNanos(1.0));
+  EXPECT_GT(hist.QuantileNanos(0.995), hist.QuantileNanos(0.99));
 }
 
 TEST(LatencyHistogram, MergeAndReset) {
