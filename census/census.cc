@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -28,9 +29,7 @@ int32_t SampleCdf(const std::vector<double>& cdf, double u) {
   return static_cast<int32_t>(it - cdf.begin());
 }
 
-}  // namespace
-
-Result<Table> GenerateCensus(const CensusOptions& options) {
+Status ValidateCensusOptions(const CensusOptions& options) {
   if (options.num_rows < 0) {
     return Status::InvalidArgument(
         StrFormat("num_rows = %lld must be >= 0",
@@ -44,48 +43,99 @@ Result<Table> GenerateCensus(const CensusOptions& options) {
   if (options.zipf_exponent < 0.0) {
     return Status::InvalidArgument("zipf_exponent must be >= 0");
   }
+  return Status::Ok();
+}
 
-  const std::vector<QiSpec> qi_schema = {
-      {"Age", 17, 79},      {"Gender", 0, 1}, {"Education", 0, 13},
-      {"Marital", 0, 5},    {"Race", 0, 8},
-  };
-  const SaSpec sa_schema = {"Occupation", options.num_occupations};
-  const std::vector<double> occupation_cdf =
-      ZipfCdf(options.num_occupations, options.zipf_exponent);
+}  // namespace
+
+CensusStream::CensusStream(uint64_t seed,
+                           std::vector<double> occupation_cdf)
+    : qi_schema_({
+          {"Age", 17, 79},
+          {"Gender", 0, 1},
+          {"Education", 0, 13},
+          {"Marital", 0, 5},
+          {"Race", 0, 8},
+      }),
+      sa_schema_{"Occupation",
+                 static_cast<int32_t>(occupation_cdf.size())},
+      occupation_cdf_(std::move(occupation_cdf)),
+      rng_(seed) {}
+
+Result<CensusStream> CensusStream::Create(const CensusOptions& options) {
+  if (Status s = ValidateCensusOptions(options); !s.ok()) return s;
+  return CensusStream(
+      options.seed,
+      ZipfCdf(options.num_occupations, options.zipf_exponent));
+}
+
+void CensusStream::Generate(int64_t count,
+                            std::vector<std::vector<int32_t>>* qi_cols,
+                            std::vector<int32_t>* sa) {
+  for (int64_t row = 0; row < count; ++row) {
+    // Age: triangular hump on [17, 79] (sum of two uniforms).
+    const int32_t age =
+        17 +
+        static_cast<int32_t>((rng_.Below(63) + rng_.Below(63) + 1) / 2);
+    const int32_t gender = static_cast<int32_t>(rng_.Below(2));
+    // Education: descending frequency (min of two uniforms).
+    const int32_t education = static_cast<int32_t>(
+        std::min(rng_.Below(14), rng_.Below(14)));
+    const int32_t marital = static_cast<int32_t>(rng_.Below(6));
+    // Race: one dominant code plus a uniform tail.
+    const int32_t race =
+        rng_.NextDouble() < 0.7
+            ? 0
+            : 1 + static_cast<int32_t>(rng_.Below(8));
+    const int32_t occupation =
+        SampleCdf(occupation_cdf_, rng_.NextDouble());
+
+    (*qi_cols)[0].push_back(age);
+    (*qi_cols)[1].push_back(gender);
+    (*qi_cols)[2].push_back(education);
+    (*qi_cols)[3].push_back(marital);
+    (*qi_cols)[4].push_back(race);
+    sa->push_back(occupation);
+  }
+}
+
+Result<Table> GenerateCensus(const CensusOptions& options) {
+  Result<CensusStream> stream = CensusStream::Create(options);
+  if (!stream.ok()) return stream.status();
 
   const int64_t n = options.num_rows;
   std::vector<std::vector<int32_t>> qi_cols(kCensusNumQi);
   for (auto& col : qi_cols) col.reserve(n);
   std::vector<int32_t> sa;
   sa.reserve(n);
+  stream->Generate(n, &qi_cols, &sa);
 
-  Rng rng(options.seed);
-  for (int64_t row = 0; row < n; ++row) {
-    // Age: triangular hump on [17, 79] (sum of two uniforms).
-    const int32_t age =
-        17 + static_cast<int32_t>((rng.Below(63) + rng.Below(63) + 1) / 2);
-    const int32_t gender = static_cast<int32_t>(rng.Below(2));
-    // Education: descending frequency (min of two uniforms).
-    const int32_t education = static_cast<int32_t>(
-        std::min(rng.Below(14), rng.Below(14)));
-    const int32_t marital = static_cast<int32_t>(rng.Below(6));
-    // Race: one dominant code plus a uniform tail.
-    const int32_t race =
-        rng.NextDouble() < 0.7
-            ? 0
-            : 1 + static_cast<int32_t>(rng.Below(8));
-    const int32_t occupation = SampleCdf(occupation_cdf, rng.NextDouble());
+  return Table::Create(stream->qi_schema(), stream->sa_schema(),
+                       std::move(qi_cols), std::move(sa));
+}
 
-    qi_cols[0].push_back(age);
-    qi_cols[1].push_back(gender);
-    qi_cols[2].push_back(education);
-    qi_cols[3].push_back(marital);
-    qi_cols[4].push_back(race);
-    sa.push_back(occupation);
+Result<ChunkedTable> GenerateCensusChunked(const CensusOptions& options,
+                                           int64_t chunk_rows) {
+  Result<CensusStream> stream = CensusStream::Create(options);
+  if (!stream.ok()) return stream.status();
+  Result<ChunkedTable::Builder> builder = ChunkedTable::Builder::Create(
+      stream->qi_schema(), stream->sa_schema(), chunk_rows);
+  if (!builder.ok()) return builder.status();
+
+  for (int64_t done = 0; done < options.num_rows;) {
+    const int64_t count = std::min(chunk_rows, options.num_rows - done);
+    std::vector<std::vector<int32_t>> qi_cols(kCensusNumQi);
+    for (auto& col : qi_cols) col.reserve(count);
+    std::vector<int32_t> sa;
+    sa.reserve(count);
+    stream->Generate(count, &qi_cols, &sa);
+    if (Status s = builder->AppendChunk(std::move(qi_cols), std::move(sa));
+        !s.ok()) {
+      return s;
+    }
+    done += count;
   }
-
-  return Table::Create(qi_schema, sa_schema, std::move(qi_cols),
-                       std::move(sa));
+  return std::move(*builder).Finish();
 }
 
 }  // namespace betalike

@@ -11,8 +11,11 @@
 #define BETALIKE_CENSUS_CENSUS_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "common/random.h"
 #include "common/status.h"
+#include "data/chunked_table.h"
 #include "data/table.h"
 
 namespace betalike {
@@ -30,7 +33,39 @@ struct CensusOptions {
 // Education, Marital, Race).
 inline constexpr int kCensusNumQi = 5;
 
+// The row stream behind GenerateCensus: rows come off one mt19937_64
+// stream in row order, so however Generate calls carve up the row
+// range — whole table, or chunk by chunk — the values are identical.
+// (options.num_rows is ignored here; callers draw what they need.)
+class CensusStream {
+ public:
+  static Result<CensusStream> Create(const CensusOptions& options);
+
+  const std::vector<QiSpec>& qi_schema() const { return qi_schema_; }
+  const SaSpec& sa_schema() const { return sa_schema_; }
+
+  // Draws the next `count` rows, appending to the kCensusNumQi column
+  // vectors of `qi_cols` and to `sa`.
+  void Generate(int64_t count, std::vector<std::vector<int32_t>>* qi_cols,
+                std::vector<int32_t>* sa);
+
+ private:
+  CensusStream(uint64_t seed, std::vector<double> occupation_cdf);
+
+  std::vector<QiSpec> qi_schema_;
+  SaSpec sa_schema_;
+  std::vector<double> occupation_cdf_;
+  Rng rng_;
+};
+
 Result<Table> GenerateCensus(const CensusOptions& options);
+
+// The same rows as GenerateCensus(options) — bit-identical, because
+// both read the same stream in row order — materialized one chunk at
+// a time instead of as monolithic columns.
+Result<ChunkedTable> GenerateCensusChunked(
+    const CensusOptions& options,
+    int64_t chunk_rows = ChunkedTable::kDefaultChunkRows);
 
 }  // namespace betalike
 

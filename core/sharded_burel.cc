@@ -1,0 +1,310 @@
+#include "core/sharded_burel.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/formation.h"
+#include "hilbert/hilbert.h"
+
+namespace betalike {
+namespace {
+
+// The two table shapes behind one pipeline. Each source yields the
+// schema, the global SA distribution, Hilbert keys for all rows, and
+// random row access for the mirror gather; everything downstream is
+// shape-blind.
+struct TableSource {
+  const Table& t;
+
+  int64_t num_rows() const { return t.num_rows(); }
+  const TableSchema& schema() const { return t.schema(); }
+  std::vector<double> SaFrequencies() const { return t.SaFrequencies(); }
+
+  void EncodeKeys(uint64_t* keys) const {
+    const BulkHilbertEncoder encoder(t.schema());
+    std::vector<const int32_t*> columns(t.num_qi());
+    for (int d = 0; d < t.num_qi(); ++d) {
+      columns[d] = t.qi_column(d).data();
+    }
+    encoder.EncodeSpan(columns.data(), t.num_rows(), keys);
+  }
+
+  int32_t qi(int64_t row, int d) const { return t.qi_value(row, d); }
+  int32_t sa(int64_t row) const { return t.sa_value(row); }
+};
+
+struct ChunkedSource {
+  const ChunkedTable& t;
+
+  int64_t num_rows() const { return t.num_rows(); }
+  const TableSchema& schema() const { return t.schema(); }
+  std::vector<double> SaFrequencies() const { return t.SaFrequencies(); }
+
+  // Chunk-at-a-time encoding: a key is a pure function of its own
+  // row's values, so the per-chunk spans produce exactly the keys of
+  // one whole-table pass.
+  void EncodeKeys(uint64_t* keys) const {
+    const BulkHilbertEncoder encoder(t.schema());
+    std::vector<const int32_t*> columns(t.num_qi());
+    int64_t offset = 0;
+    for (int c = 0; c < t.num_chunks(); ++c) {
+      for (int d = 0; d < t.num_qi(); ++d) columns[d] = t.qi_chunk(c, d);
+      encoder.EncodeSpan(columns.data(), t.chunk_size(c), keys + offset);
+      offset += t.chunk_size(c);
+    }
+  }
+
+  int32_t qi(int64_t row, int d) const { return t.qi_value(row, d); }
+  int32_t sa(int64_t row) const { return t.sa_value(row); }
+};
+
+// Root feasibility of a contiguous group, by the same arithmetic the
+// engine's sweeps use (double division, then compare against the
+// length): a group passing here can only produce β-feasible leaves.
+bool GroupFeasible(const std::vector<int64_t>& hist,
+                   const std::vector<double>& thresholds, int64_t len) {
+  const double len_d = static_cast<double>(len);
+  for (size_t v = 0; v < hist.size(); ++v) {
+    if (hist[v] > 0 &&
+        len_d < static_cast<double>(hist[v]) / thresholds[v]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The shared pipeline: thresholds and the bucketization gate, chunked
+// key encode, radix sort, SoA mirror gather, slab repair into feasible
+// groups, and per-group formation with slab-ordered combine. On
+// success `leaves` holds one (lo, hi) range per equivalence class in
+// global emission order over the final `sequence`/`qi_pos` mirror.
+template <typename Source>
+Status RunSharded(const Source& src, const ShardedBurelOptions& options,
+                  std::vector<std::pair<int64_t, int64_t>>* leaves,
+                  std::vector<int64_t>* sequence_out,
+                  std::vector<std::vector<int32_t>>* qi_pos_out,
+                  std::vector<int32_t>* sa_pos_out, ShardStats* stats) {
+  if (Status s = ValidateShardedBurelOptions(options); !s.ok()) return s;
+  const int64_t n = src.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty table");
+  const TableSchema& schema = src.schema();
+
+  const std::vector<double> freqs = src.SaFrequencies();
+  const std::vector<double> thresholds =
+      BetaLikenessThresholds(freqs, options.burel);
+  auto buckets = BucketizeSaValues(freqs, options.burel);
+  if (!buckets.ok()) return buckets.status();
+
+  // More slabs than rows would leave some empty; clamp.
+  const int shards =
+      static_cast<int>(std::min<int64_t>(options.num_shards, n));
+  if (stats != nullptr) stats->shards = shards;
+
+  WallTimer section;
+  std::vector<int64_t>& sequence = *sequence_out;
+  {
+    std::vector<uint64_t> keys(n, 0);
+    src.EncodeKeys(keys.data());
+    if (stats != nullptr) stats->encode_seconds = section.ElapsedSeconds();
+    section.Restart();
+    sequence = SortRowsByHilbertKey(keys);
+    if (stats != nullptr) stats->sort_seconds = section.ElapsedSeconds();
+  }  // keys freed before the mirror is allocated
+
+  // Curve-ordered SoA mirror (see core/burel.cc): formation streams
+  // these, never the source again.
+  section.Restart();
+  const int dims = schema.num_qi();
+  std::vector<std::vector<int32_t>>& qi_pos = *qi_pos_out;
+  qi_pos.assign(dims, {});
+  for (int d = 0; d < dims; ++d) {
+    qi_pos[d].resize(n);
+    for (int64_t i = 0; i < n; ++i) {
+      qi_pos[d][i] = src.qi(sequence[i], d);
+    }
+  }
+  std::vector<int32_t>& sa_pos = *sa_pos_out;
+  sa_pos.resize(n);
+  for (int64_t i = 0; i < n; ++i) sa_pos[i] = src.sa(sequence[i]);
+  if (stats != nullptr) stats->gather_seconds = section.ElapsedSeconds();
+
+  // Slab repair. Slab s covers curve positions [s*n/P, (s+1)*n/P); a
+  // left-to-right greedy closes a group as soon as its accumulated SA
+  // histogram is feasible for its length. An infeasible tail merges
+  // backward into closed groups until feasible — the whole table is
+  // feasible under its own global thresholds, so the merge terminates
+  // (at worst as one group spanning the table).
+  section.Restart();
+  const int32_t num_values = schema.sa.num_values;
+  std::vector<std::pair<int64_t, int64_t>> groups;
+  std::vector<std::vector<int64_t>> group_hists;
+  {
+    std::vector<int64_t> cur_hist(num_values, 0);
+    int64_t cur_lo = 0;
+    for (int s = 0; s < shards; ++s) {
+      const int64_t slab_hi = (s + 1) * n / shards;
+      for (int64_t i = s * n / shards; i < slab_hi; ++i) {
+        ++cur_hist[sa_pos[i]];
+      }
+      if (GroupFeasible(cur_hist, thresholds, slab_hi - cur_lo)) {
+        groups.emplace_back(cur_lo, slab_hi);
+        group_hists.push_back(cur_hist);
+        std::fill(cur_hist.begin(), cur_hist.end(), 0);
+        cur_lo = slab_hi;
+      }
+    }
+    if (cur_lo < n) {
+      while (!GroupFeasible(cur_hist, thresholds, n - cur_lo)) {
+        BETALIKE_CHECK(!groups.empty())
+            << "whole table infeasible under its own thresholds";
+        const std::vector<int64_t>& prev = group_hists.back();
+        for (int32_t v = 0; v < num_values; ++v) cur_hist[v] += prev[v];
+        cur_lo = groups.back().first;
+        groups.pop_back();
+        group_hists.pop_back();
+      }
+      groups.emplace_back(cur_lo, n);
+    }
+  }
+  if (stats != nullptr) {
+    stats->repair_seconds = section.ElapsedSeconds();
+    stats->groups = static_cast<int>(groups.size());
+    stats->merged_slabs = shards - static_cast<int>(groups.size());
+  }
+
+  double max_threshold = 0.0;
+  for (size_t v = 0; v < freqs.size(); ++v) {
+    if (freqs[v] > 0.0) {
+      max_threshold = std::max(max_threshold, thresholds[v]);
+    }
+  }
+
+  FormationRun run;
+  run.schema = &schema;
+  run.thresholds = &thresholds;
+  run.min_cut_len = 2.0 * std::max(1.0, 1.0 / max_threshold);
+  run.dims = dims;
+  run.qcol.resize(dims);
+  for (int d = 0; d < dims; ++d) run.qcol[d] = qi_pos[d].data();
+  run.sa = sa_pos.data();
+  run.sequence = sequence.data();
+
+  // Per-group formation. Groups are disjoint segments of the mirror,
+  // so they run as independent pool tasks; each forms serially inside
+  // its task, and the combine concatenates leaf lists in group order —
+  // the output depends on (data, P) only, never on the thread count.
+  section.Restart();
+  const int threads = ResolveFormationThreads(options.burel.num_threads);
+  if (stats != nullptr) stats->threads = threads;
+  if (threads <= 1 || groups.size() <= 1) {
+    FormationWorker worker(run);
+    for (const auto& [lo, hi] : groups) {
+      worker.Form(lo, hi, leaves, nullptr);
+    }
+  } else {
+    ThreadPool pool(threads - 1);
+    using Leaves = std::vector<std::pair<int64_t, int64_t>>;
+    std::vector<std::future<Leaves>> tasks;
+    tasks.reserve(groups.size());
+    for (const auto& [lo, hi] : groups) {
+      tasks.push_back(pool.Submit([&run, lo = lo, hi = hi] {
+        Leaves out;
+        FormationWorker worker(run);
+        worker.Form(lo, hi, &out, nullptr);
+        return out;
+      }));
+    }
+    for (std::future<Leaves>& task : tasks) {
+      const Leaves part = pool.GetAndHelp(std::move(task));
+      leaves->insert(leaves->end(), part.begin(), part.end());
+    }
+  }
+  if (stats != nullptr) {
+    stats->form_seconds = section.ElapsedSeconds();
+    stats->ecs = static_cast<int64_t>(leaves->size());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateShardedBurelOptions(const ShardedBurelOptions& options) {
+  if (Status s = ValidateBurelOptions(options.burel); !s.ok()) return s;
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_shards = %d must be >= 1", options.num_shards));
+  }
+  return Status::Ok();
+}
+
+Result<GeneralizedTable> AnonymizeSharded(
+    std::shared_ptr<const Table> table, const ShardedBurelOptions& options,
+    ShardStats* stats) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (stats != nullptr) *stats = ShardStats{};
+  std::vector<std::pair<int64_t, int64_t>> leaves;
+  std::vector<int64_t> sequence;
+  std::vector<std::vector<int32_t>> qi_pos;
+  std::vector<int32_t> sa_pos;
+  TableSource source{*table};
+  if (Status s = RunSharded(source, options, &leaves, &sequence, &qi_pos,
+                            &sa_pos, stats);
+      !s.ok()) {
+    return s;
+  }
+  std::vector<std::vector<int64_t>> ecs;
+  ecs.reserve(leaves.size());
+  for (const auto& [lo, hi] : leaves) {
+    ecs.emplace_back(sequence.data() + lo, sequence.data() + hi);
+  }
+  return GeneralizedTable::Create(std::move(table), std::move(ecs));
+}
+
+Result<ShardedPublication> AnonymizeSharded(
+    const ChunkedTable& table, const ShardedBurelOptions& options,
+    ShardStats* stats) {
+  if (stats != nullptr) *stats = ShardStats{};
+  std::vector<std::pair<int64_t, int64_t>> leaves;
+  std::vector<int64_t> sequence;
+  std::vector<std::vector<int32_t>> qi_pos;
+  std::vector<int32_t> sa_pos;
+  ChunkedSource source{table};
+  if (Status s = RunSharded(source, options, &leaves, &sequence, &qi_pos,
+                            &sa_pos, stats);
+      !s.ok()) {
+    return s;
+  }
+  // Boxes straight off the mirror: integer min/max over exactly the
+  // member rows, so the ranges equal what GeneralizedTable::Create
+  // computes by row access on a materialized Table.
+  ShardedPublication out;
+  out.schema = table.schema();
+  out.num_rows = table.num_rows();
+  const int dims = out.schema.num_qi();
+  out.ecs.reserve(leaves.size());
+  for (const auto& [lo, hi] : leaves) {
+    EquivalenceClass ec;
+    ec.rows.assign(sequence.data() + lo, sequence.data() + hi);
+    ec.qi_min.resize(dims);
+    ec.qi_max.resize(dims);
+    for (int d = 0; d < dims; ++d) {
+      int32_t mn = qi_pos[d][lo];
+      int32_t mx = mn;
+      for (int64_t i = lo + 1; i < hi; ++i) {
+        mn = std::min(mn, qi_pos[d][i]);
+        mx = std::max(mx, qi_pos[d][i]);
+      }
+      ec.qi_min[d] = mn;
+      ec.qi_max[d] = mx;
+    }
+    out.ecs.push_back(std::move(ec));
+  }
+  return out;
+}
+
+}  // namespace betalike

@@ -1,0 +1,88 @@
+// Hilbert-prefix sharded BUREL formation (the ROADMAP's scale-out
+// path): the radix-sorted Hilbert key range is split into P contiguous
+// slabs, slabs are repaired into β-feasible groups, and every group
+// runs the hybrid-bisection engine (core/formation) as an independent
+// thread-pool task whose leaves are combined in slab order.
+//
+// Why repair happens BEFORE formation instead of re-cutting straddling
+// classes afterwards: if a segment is infeasible — some value v has
+// count_v / threshold_v > len — then EVERY split of it leaves an
+// infeasible side (for that v, the two sides' requirements sum to more
+// than the two sides' lengths), so an infeasible slab cannot be formed
+// into anything better than one giant violating class, and no
+// post-hoc re-cut of boundary classes could fix it. Conversely a
+// feasible root yields only feasible leaves (the engine applies a cut
+// only when both sides are feasible). So the one and only global
+// invariant to restore is root feasibility per slab, and merging
+// infeasible slabs into feasible contiguous groups restores it
+// exactly; the whole table is always feasible under its own global
+// thresholds, so the merge terminates.
+//
+// Determinism: group boundaries depend only on (data, P), and each
+// group forms serially inside one task, so the published output is
+// bit-identical for every thread count; P = 1 is one group spanning
+// the table — exactly the serial unsharded recursion, reproducing its
+// pinned EC-structure hashes.
+#ifndef BETALIKE_CORE_SHARDED_BUREL_H_
+#define BETALIKE_CORE_SHARDED_BUREL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bucket_partition.h"
+#include "data/chunked_table.h"
+#include "data/table.h"
+
+namespace betalike {
+
+struct ShardedBurelOptions {
+  BurelOptions burel;
+  // P: contiguous Hilbert-range slabs. Clamped to the row count.
+  int num_shards = 1;
+};
+
+Status ValidateShardedBurelOptions(const ShardedBurelOptions& options);
+
+// Section timings and shard accounting of one sharded run, for
+// bench_scale and the shard tests.
+struct ShardStats {
+  int shards = 0;        // slabs after clamping to the row count
+  int groups = 0;        // feasible groups actually formed
+  int merged_slabs = 0;  // slabs that lost their boundary to repair
+  int threads = 0;
+  int64_t ecs = 0;
+  double encode_seconds = 0.0;
+  double sort_seconds = 0.0;
+  double gather_seconds = 0.0;
+  double repair_seconds = 0.0;
+  double form_seconds = 0.0;
+};
+
+// A publication without a materialized source Table: the schema plus
+// the equivalence classes (member rows and bounding boxes). What the
+// chunked path returns — at 10M+ rows there is no monolithic Table to
+// hang a GeneralizedTable on.
+struct ShardedPublication {
+  TableSchema schema;
+  int64_t num_rows = 0;
+  std::vector<EquivalenceClass> ecs;
+};
+
+// Sharded formation of a resident Table. P = 1 is bit-identical to
+// AnonymizeWithBurel in serial mode; stats is optional.
+Result<GeneralizedTable> AnonymizeSharded(
+    std::shared_ptr<const Table> table, const ShardedBurelOptions& options,
+    ShardStats* stats = nullptr);
+
+// Sharded formation of a chunked table: same pipeline, with keys
+// encoded chunk by chunk and the curve-order mirror gathered through
+// O(1) chunk-indexed row access. Produces row-for-row, box-for-box the
+// classes the Table overload produces on ToTable() input.
+Result<ShardedPublication> AnonymizeSharded(
+    const ChunkedTable& table, const ShardedBurelOptions& options,
+    ShardStats* stats = nullptr);
+
+}  // namespace betalike
+
+#endif  // BETALIKE_CORE_SHARDED_BUREL_H_

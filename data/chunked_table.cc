@@ -1,0 +1,123 @@
+#include "data/chunked_table.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace betalike {
+
+Result<ChunkedTableBuilder> ChunkedTableBuilder::Create(
+    std::vector<QiSpec> qi_schema, SaSpec sa_schema, int64_t chunk_rows) {
+  if (sa_schema.num_values <= 0) {
+    return Status::InvalidArgument("SA domain must be non-empty");
+  }
+  for (size_t d = 0; d < qi_schema.size(); ++d) {
+    if (qi_schema[d].lo > qi_schema[d].hi) {
+      return Status::InvalidArgument(
+          StrFormat("QI column %zu domain [%d, %d] is empty", d,
+                    qi_schema[d].lo, qi_schema[d].hi));
+    }
+  }
+  if (chunk_rows < 1 || (chunk_rows & (chunk_rows - 1)) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("chunk_rows %lld is not a positive power of two",
+                  static_cast<long long>(chunk_rows)));
+  }
+  ChunkedTableBuilder builder;
+  builder.table_.schema_.qi = std::move(qi_schema);
+  builder.table_.schema_.sa = std::move(sa_schema);
+  int shift = 0;
+  while ((int64_t{1} << shift) < chunk_rows) ++shift;
+  builder.table_.chunk_shift_ = shift;
+  builder.table_.chunk_mask_ = chunk_rows - 1;
+  return builder;
+}
+
+Status ChunkedTableBuilder::AppendChunk(
+    std::vector<std::vector<int32_t>> qi_columns,
+    std::vector<int32_t> sa_column) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (saw_short_chunk_) {
+    return Status::InvalidArgument(
+        "a short chunk must be the last: AppendChunk after one");
+  }
+  const TableSchema& schema = table_.schema_;
+  if (qi_columns.size() != static_cast<size_t>(schema.num_qi())) {
+    return Status::InvalidArgument(
+        StrFormat("schema has %d QI columns, chunk has %zu",
+                  schema.num_qi(), qi_columns.size()));
+  }
+  const size_t rows = sa_column.size();
+  if (rows == 0) return Status::InvalidArgument("empty chunk");
+  if (static_cast<int64_t>(rows) > table_.chunk_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("chunk of %zu rows exceeds chunk_rows %lld", rows,
+                  static_cast<long long>(table_.chunk_rows())));
+  }
+  for (size_t d = 0; d < qi_columns.size(); ++d) {
+    if (qi_columns[d].size() != rows) {
+      return Status::InvalidArgument(
+          StrFormat("QI column %zu has %zu rows, SA has %zu", d,
+                    qi_columns[d].size(), rows));
+    }
+    for (int32_t v : qi_columns[d]) {
+      if (v < schema.qi[d].lo || v > schema.qi[d].hi) {
+        return Status::OutOfRange(
+            StrFormat("QI column %zu value %d outside domain [%d, %d]", d,
+                      v, schema.qi[d].lo, schema.qi[d].hi));
+      }
+    }
+  }
+  for (int32_t v : sa_column) {
+    if (v < 0 || v >= schema.sa.num_values) {
+      return Status::OutOfRange(StrFormat(
+          "SA value %d outside domain [0, %d)", v, schema.sa.num_values));
+    }
+  }
+  if (static_cast<int64_t>(rows) < table_.chunk_rows()) {
+    saw_short_chunk_ = true;
+  }
+  ChunkedTable::Chunk chunk;
+  chunk.qi = std::move(qi_columns);
+  chunk.sa = std::move(sa_column);
+  table_.chunks_.push_back(std::move(chunk));
+  table_.num_rows_ += static_cast<int64_t>(rows);
+  return Status::Ok();
+}
+
+Result<ChunkedTable> ChunkedTableBuilder::Finish() && {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  finished_ = true;
+  return std::move(table_);
+}
+
+std::vector<double> ChunkedTable::SaFrequencies() const {
+  std::vector<double> freqs(schema_.sa.num_values, 0.0);
+  if (num_rows_ == 0) return freqs;
+  for (const Chunk& chunk : chunks_) {
+    for (int32_t v : chunk.sa) freqs[v] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(num_rows_);
+  for (double& f : freqs) f *= inv;
+  return freqs;
+}
+
+Result<Table> ChunkedTable::ToTable() const {
+  std::vector<std::vector<int32_t>> qi_columns(schema_.num_qi());
+  std::vector<int32_t> sa_column;
+  sa_column.reserve(num_rows_);
+  for (int d = 0; d < schema_.num_qi(); ++d) {
+    qi_columns[d].reserve(num_rows_);
+  }
+  for (const Chunk& chunk : chunks_) {
+    for (int d = 0; d < schema_.num_qi(); ++d) {
+      qi_columns[d].insert(qi_columns[d].end(), chunk.qi[d].begin(),
+                           chunk.qi[d].end());
+    }
+    sa_column.insert(sa_column.end(), chunk.sa.begin(), chunk.sa.end());
+  }
+  return Table::Create(schema_.qi, schema_.sa, std::move(qi_columns),
+                       std::move(sa_column));
+}
+
+}  // namespace betalike

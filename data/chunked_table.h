@@ -1,0 +1,106 @@
+// Chunked column store: the same QI/SA microdata as data/Table, held
+// as fixed-size chunks instead of monolithic columns. At 10M-100M
+// rows the monolithic form needs every 5*n vector<int32_t> resident
+// at once — plus whole-column copies for any reshaping — while chunks
+// are produced incrementally (census/ generates them stream-
+// identically), encoded to Hilbert keys chunk by chunk, and read back
+// through O(1) chunk-indexed row access during formation's mirror
+// gather. Chunk size is a power of two so the row -> (chunk, offset)
+// split is a shift and a mask.
+#ifndef BETALIKE_DATA_CHUNKED_TABLE_H_
+#define BETALIKE_DATA_CHUNKED_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/table.h"
+
+namespace betalike {
+
+class ChunkedTableBuilder;
+
+class ChunkedTable {
+ public:
+  // Default chunk: 2^18 rows (1 MiB per int32 column), a multiple of
+  // the Hilbert encoder's block so chunked encoding blocks identically
+  // to a whole-table pass (the keys are per-row pure functions either
+  // way; matching the blocking just keeps the passes aligned).
+  static constexpr int64_t kDefaultChunkRows = int64_t{1} << 18;
+
+  using Builder = ChunkedTableBuilder;
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+  int64_t chunk_rows() const { return int64_t{1} << chunk_shift_; }
+  const TableSchema& schema() const { return schema_; }
+  int num_qi() const { return schema_.num_qi(); }
+
+  // Rows in chunk `c` (chunk_rows() except possibly the last).
+  int64_t chunk_size(int c) const {
+    return static_cast<int64_t>(chunks_[c].sa.size());
+  }
+  // Contiguous column spans of one chunk, length chunk_size(c).
+  const int32_t* qi_chunk(int c, int d) const {
+    return chunks_[c].qi[d].data();
+  }
+  const int32_t* sa_chunk(int c) const { return chunks_[c].sa.data(); }
+
+  // Global-row accessors: one shift + mask per lookup.
+  int32_t qi_value(int64_t row, int d) const {
+    return chunks_[row >> chunk_shift_].qi[d][row & chunk_mask_];
+  }
+  int32_t sa_value(int64_t row) const {
+    return chunks_[row >> chunk_shift_].sa[row & chunk_mask_];
+  }
+
+  // Overall SA distribution p_v, exactly as Table::SaFrequencies: one
+  // integer count pass in row order, then one multiply per value.
+  std::vector<double> SaFrequencies() const;
+
+  // Materializes a monolithic Table with identical rows — for tests
+  // and small-scale cross-checks, not the scaled path.
+  Result<Table> ToTable() const;
+
+ private:
+  struct Chunk {
+    std::vector<std::vector<int32_t>> qi;
+    std::vector<int32_t> sa;
+  };
+
+  ChunkedTable() = default;
+
+  friend class ChunkedTableBuilder;
+
+  TableSchema schema_;
+  std::vector<Chunk> chunks_;
+  int64_t num_rows_ = 0;
+  int chunk_shift_ = 0;
+  int64_t chunk_mask_ = 0;
+};
+
+// Incremental construction: append column-major chunks in row order.
+// Every chunk but the last must hold exactly `chunk_rows` rows; values
+// are validated against the schema on append, so a finished table
+// upholds the same invariants as Table::Create.
+class ChunkedTableBuilder {
+ public:
+  static Result<ChunkedTableBuilder> Create(
+      std::vector<QiSpec> qi_schema, SaSpec sa_schema,
+      int64_t chunk_rows = ChunkedTable::kDefaultChunkRows);
+
+  Status AppendChunk(std::vector<std::vector<int32_t>> qi_columns,
+                     std::vector<int32_t> sa_column);
+
+  Result<ChunkedTable> Finish() &&;
+
+ private:
+  ChunkedTableBuilder() = default;
+
+  ChunkedTable table_;
+  bool saw_short_chunk_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace betalike
+
+#endif  // BETALIKE_DATA_CHUNKED_TABLE_H_

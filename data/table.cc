@@ -101,19 +101,25 @@ std::vector<double> Table::SaFrequencies() const {
   return freqs;
 }
 
-double NormalizedBoxLoss(const Table& table,
+double NormalizedBoxLoss(const TableSchema& schema,
                          const std::vector<int32_t>& qi_min,
                          const std::vector<int32_t>& qi_max) {
-  const int dims = table.num_qi();
+  const int dims = schema.num_qi();
   if (dims == 0) return 0.0;
   double loss = 0.0;
   for (int d = 0; d < dims; ++d) {
-    const int64_t extent = table.qi_spec(d).extent();
+    const int64_t extent = schema.qi[d].extent();
     if (extent == 0) continue;
     loss += static_cast<double>(qi_max[d] - qi_min[d]) /
             static_cast<double>(extent);
   }
   return loss / dims;
+}
+
+double NormalizedBoxLoss(const Table& table,
+                         const std::vector<int32_t>& qi_min,
+                         const std::vector<int32_t>& qi_max) {
+  return NormalizedBoxLoss(table.schema(), qi_min, qi_max);
 }
 
 Result<GeneralizedTable> GeneralizedTable::Create(

@@ -104,11 +104,11 @@ DimScale ScaleForDim(const QiSpec& spec, int bits) {
 // So the per-dimension cap of HilbertBitsForDims is lowered to the
 // widest grid actually present — fewer transform levels per row, same
 // curve order.
-int TableHilbertBits(const Table& table) {
-  const int cap = HilbertBitsForDims(table.num_qi());
+int TableHilbertBits(const TableSchema& schema) {
+  const int cap = HilbertBitsForDims(schema.num_qi());
   int max_need = 1;
-  for (int d = 0; d < table.num_qi(); ++d) {
-    max_need = std::max(max_need, BitsNeeded(table.qi_spec(d)));
+  for (int d = 0; d < schema.num_qi(); ++d) {
+    max_need = std::max(max_need, BitsNeeded(schema.qi[d]));
   }
   return std::min(cap, max_need);
 }
@@ -150,7 +150,7 @@ uint64_t HilbertCurve::Encode(const std::vector<uint32_t>& axes) const {
 uint64_t HilbertKeyForRow(const Table& table, int64_t row) {
   const int dims = table.num_qi();
   if (dims == 0) return 0;  // no QI: every ordering is equivalent
-  const int bits = TableHilbertBits(table);
+  const int bits = TableHilbertBits(table.schema());
   uint32_t x[kMaxDims];
   for (int d = 0; d < dims && d < kMaxDims; ++d) {
     x[d] = ScaleForDim(table.qi_spec(d), bits).Axis(table.qi_value(row, d));
@@ -160,46 +160,59 @@ uint64_t HilbertKeyForRow(const Table& table, int64_t row) {
   return TransposeToKey(x, n, bits);
 }
 
-std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
-  const int64_t n = table.num_rows();
-  const int dims = std::min(table.num_qi(), kMaxDims);
-  std::vector<uint64_t> keys(n, 0);
-  if (dims == 0 || n == 0) return keys;
-  const int bits = TableHilbertBits(table);
-
-  std::vector<DimScale> scales(dims);
-  for (int d = 0; d < dims; ++d) {
-    scales[d] = ScaleForDim(table.qi_spec(d), bits);
+BulkHilbertEncoder::BulkHilbertEncoder(const TableSchema& schema)
+    : dims_(std::min(schema.num_qi(), kMaxDims)),
+      bits_(TableHilbertBits(schema)),
+      spread_(256, 0) {
+  lo_.resize(dims_);
+  shift_.resize(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    const DimScale scale = ScaleForDim(schema.qi[d], bits_);
+    lo_[d] = scale.lo;
+    shift_[d] = scale.shift;
   }
-
   // Morton spread table: byte value -> its bits spaced `dims` apart, so
   // the bit-interleave of TransposeToKey becomes table lookups. Bit j
   // of an axis lands at key bit j * dims (+ the dimension offset);
   // entries whose spread would overflow 64 bits belong to levels above
   // `bits` and are never set in a scaled axis.
-  uint64_t spread[256];
   for (int byte = 0; byte < 256; ++byte) {
     uint64_t s = 0;
     for (int j = 0; j < 8; ++j) {
-      if ((byte >> j & 1) != 0 && j * dims < 64) s |= 1ULL << (j * dims);
+      if ((byte >> j & 1) != 0 && j * dims_ < 64) s |= 1ULL << (j * dims_);
     }
-    spread[byte] = s;
+    spread_[byte] = s;
   }
+}
+
+void BulkHilbertEncoder::EncodeSpan(const int32_t* const* columns,
+                                    int64_t count, uint64_t* keys) const {
+  const int dims = dims_;
+  const int bits = bits_;
+  if (dims == 0) {
+    std::fill(keys, keys + count, 0);
+    return;
+  }
+  const uint64_t* const spread = spread_.data();
 
   // Block-wise over a column-major view: axis codes land one dimension
   // per contiguous lane array, so the Skilling transform runs as
   // uniform level passes that vectorize across rows (each pass touches
   // two L1-resident lanes). The Gray encode, the per-row twist `t`
   // (closed form below), and the interleave fuse into the final
-  // per-row pass instead of taking lane passes of their own.
+  // per-row pass instead of taking lane passes of their own. A key is
+  // a pure per-row function, so the block decomposition — and the span
+  // decomposition of the caller — cannot change any key.
   std::vector<uint32_t> block(static_cast<size_t>(kBlockRows) * dims);
-  for (int64_t lo = 0; lo < n; lo += kBlockRows) {
-    const int64_t count = std::min(kBlockRows, n - lo);
+  for (int64_t lo = 0; lo < count; lo += kBlockRows) {
+    const int64_t block_count = std::min(kBlockRows, count - lo);
     for (int d = 0; d < dims; ++d) {
-      const int32_t* column = table.qi_column(d).data() + lo;
-      const DimScale scale = scales[d];
+      const int32_t* column = columns[d] + lo;
+      DimScale scale;
+      scale.lo = lo_[d];
+      scale.shift = shift_[d];
       uint32_t* out = block.data() + d * kBlockRows;
-      for (int64_t i = 0; i < count; ++i) {
+      for (int64_t i = 0; i < block_count; ++i) {
         out[i] = scale.Axis(column[i]);
       }
     }
@@ -209,12 +222,12 @@ std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
     uint32_t* x0 = block.data();
     for (int b = bits - 1; b >= 1; --b) {
       const uint32_t p = (1u << b) - 1u;
-      for (int64_t i = 0; i < count; ++i) {
+      for (int64_t i = 0; i < block_count; ++i) {
         x0[i] ^= p & (0u - ((x0[i] >> b) & 1u));
       }
       for (int d = 1; d < dims; ++d) {
         uint32_t* xd = block.data() + d * kBlockRows;
-        for (int64_t i = 0; i < count; ++i) {
+        for (int64_t i = 0; i < block_count; ++i) {
           const uint32_t m = 0u - ((xd[i] >> b) & 1u);
           const uint32_t t = (x0[i] ^ xd[i]) & p & ~m;
           x0[i] ^= (p & m) | t;
@@ -222,7 +235,7 @@ std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
         }
       }
     }
-    for (int64_t i = 0; i < count; ++i) {
+    for (int64_t i = 0; i < block_count; ++i) {
       // Gray encode as a running xor: after `for (d) x[d] ^= x[d - 1]`
       // each axis holds the xor of itself and every axis before it.
       // The final twist `t` xors in (2^b - 1) for every set level bit
@@ -253,6 +266,18 @@ std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
       keys[lo + i] = key;
     }
   }
+}
+
+std::vector<uint64_t> ComputeHilbertKeys(const Table& table) {
+  const int64_t n = table.num_rows();
+  std::vector<uint64_t> keys(n, 0);
+  if (table.num_qi() == 0 || n == 0) return keys;
+  const BulkHilbertEncoder encoder(table.schema());
+  std::vector<const int32_t*> columns(std::min(table.num_qi(), kMaxDims));
+  for (size_t d = 0; d < columns.size(); ++d) {
+    columns[d] = table.qi_column(static_cast<int>(d)).data();
+  }
+  encoder.EncodeSpan(columns.data(), n, keys.data());
   return keys;
 }
 

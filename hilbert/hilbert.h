@@ -54,6 +54,36 @@ class HilbertCurve {
   int bits_;
 };
 
+// Bulk column-major encoder under a schema's natural scaling (the
+// same top-bit grid alignment HilbertKeyForRow documents below). A
+// key is a pure function of (schema, row values), so a table's keys
+// can be produced span by span: encoding a chunked column store one
+// chunk at a time yields exactly the keys of one whole-table pass.
+// Stateless after construction; EncodeSpan is thread-safe.
+class BulkHilbertEncoder {
+ public:
+  explicit BulkHilbertEncoder(const TableSchema& schema);
+
+  // Curve levels per dimension actually used (schema-derived).
+  int bits() const { return bits_; }
+
+  // Keys of `count` consecutive rows: columns[d] points at the rows'
+  // values of QI dimension d (contiguous, length >= count). Writes
+  // keys[0..count). With zero QI dimensions every key is 0.
+  void EncodeSpan(const int32_t* const* columns, int64_t count,
+                  uint64_t* keys) const;
+
+ private:
+  int dims_ = 0;
+  int bits_ = 1;
+  // Per-dimension scaling to axis codes: (value - lo) shifted left by
+  // shift (right by -shift when negative).
+  std::vector<int32_t> lo_;
+  std::vector<int> shift_;
+  // Morton spread table: byte value -> its bits spaced dims_ apart.
+  std::vector<uint64_t> spread_;
+};
+
 // Hilbert key of one row of `table` under the table's natural scaling:
 // each QI dimension's grid is aligned to the top bits of the curve
 // level, so adjacent codes of a low-cardinality attribute differ only

@@ -19,6 +19,13 @@ double EcInfoLoss(const GeneralizedTable& published,
 // Tuple-weighted mean of EcInfoLoss over all equivalence classes.
 double AverageInfoLoss(const GeneralizedTable& published);
 
+// The same tuple-weighted mean over a bare (schema, classes) pair —
+// identical arithmetic in identical order — for publications produced
+// without a materialized source Table (core/sharded_burel's chunked
+// path).
+double AverageInfoLossOfEcs(const TableSchema& schema,
+                            const std::vector<EquivalenceClass>& ecs);
+
 }  // namespace betalike
 
 #endif  // BETALIKE_METRICS_INFO_LOSS_H_

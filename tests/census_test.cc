@@ -109,5 +109,46 @@ TEST(Census, ZeroRowsIsValid) {
   EXPECT_EQ(table->num_rows(), 0);
 }
 
+// The chunked generator draws the same single RNG stream in row order,
+// so it must be bit-identical to the monolithic one — including when
+// the row count is not a multiple of the chunk size.
+TEST(Census, ChunkedGenerationIsStreamIdentical) {
+  CensusOptions options;
+  options.num_rows = 2500;
+  auto monolithic = GenerateCensus(options);
+  ASSERT_OK(monolithic);
+  auto chunked = GenerateCensusChunked(options, /*chunk_rows=*/1024);
+  ASSERT_OK(chunked);
+  EXPECT_EQ(chunked->num_rows(), options.num_rows);
+  EXPECT_EQ(chunked->num_chunks(), 3);
+  auto round_trip = chunked->ToTable();
+  ASSERT_OK(round_trip);
+  EXPECT_TRUE(TablesEqual(*monolithic, *round_trip, options.num_rows));
+  EXPECT_TRUE(chunked->SaFrequencies() == monolithic->SaFrequencies());
+}
+
+// CensusStream appended in two calls continues the stream, matching
+// one big Generate — the property the chunked generator relies on.
+TEST(Census, StreamGenerationAppends) {
+  CensusOptions options;
+  auto stream = CensusStream::Create(options);
+  ASSERT_OK(stream);
+  std::vector<std::vector<int32_t>> qi_cols(kCensusNumQi);
+  std::vector<int32_t> sa;
+  stream->Generate(700, &qi_cols, &sa);
+  stream->Generate(300, &qi_cols, &sa);
+  ASSERT_EQ(static_cast<int64_t>(sa.size()), 1000);
+
+  options.num_rows = 1000;
+  auto table = GenerateCensus(options);
+  ASSERT_OK(table);
+  for (int64_t row = 0; row < 1000; ++row) {
+    ASSERT_EQ(sa[row], table->sa_value(row));
+    for (int d = 0; d < kCensusNumQi; ++d) {
+      ASSERT_EQ(qi_cols[d][row], table->qi_value(row, d));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace betalike
