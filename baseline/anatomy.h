@@ -67,6 +67,17 @@ class AnatomizedTable {
     return st_.Count(group, sa_lo, sa_hi);
   }
 
+  // Σ v (resp. Σ v²) over the tuples of `group` with SA value v in
+  // [sa_lo, sa_hi] — the ST histogram moments the SUM/AVG estimators
+  // spread across a group's rows.
+  int64_t GroupSaValueSum(size_t group, int32_t sa_lo, int32_t sa_hi) const {
+    return st_.ValueSum(group, sa_lo, sa_hi);
+  }
+  int64_t GroupSaValueSquareSum(size_t group, int32_t sa_lo,
+                                int32_t sa_hi) const {
+    return st_.ValueSquareSum(group, sa_lo, sa_hi);
+  }
+
  private:
   explicit AnatomizedTable(EcSaIndex st) : st_(std::move(st)) {}
 

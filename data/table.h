@@ -147,7 +147,9 @@ class GeneralizedTable {
 // built once so every (class, SA range) lookup is O(1). Shared by the
 // query estimators (uniform-spread and reconstruction paths) and by
 // Anatomy's separate-table view; holds copied counts only, so it stays
-// valid independently of the indexed publication's lifetime.
+// valid independently of the indexed publication's lifetime. Besides
+// plain counts it carries value-weighted (Σ v·count) and value-squared
+// (Σ v²·count) prefixes, the moments the SUM/AVG estimators need.
 class EcSaIndex {
  public:
   explicit EcSaIndex(const GeneralizedTable& published);
@@ -156,9 +158,19 @@ class EcSaIndex {
   // clamped to the SA domain).
   int64_t Count(size_t ec, int32_t lo, int32_t hi) const;
 
+  // Σ v over the tuples of class `ec` with SA value v in [lo, hi] —
+  // the exact SUM(SA) of the class restricted to the range.
+  int64_t ValueSum(size_t ec, int32_t lo, int32_t hi) const;
+
+  // Σ v² over the same tuples; with ValueSum this gives the second
+  // moment the AVG/SUM variance models need.
+  int64_t ValueSquareSum(size_t ec, int32_t lo, int32_t hi) const;
+
  private:
   int32_t num_values_ = 0;
-  std::vector<int64_t> prefix_;
+  std::vector<int64_t> prefix_;           // counts
+  std::vector<int64_t> weighted_prefix_;  // Σ v·count
+  std::vector<int64_t> squared_prefix_;   // Σ v²·count
 };
 
 }  // namespace betalike

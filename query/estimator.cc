@@ -89,6 +89,112 @@ EstimateWithVariance AnatomizedCore(const AnatomizedTable& anatomized,
   return out;
 }
 
+// SUM(SA) over an Anatomy view. A QIT-matching row's SA value is
+// unknown (the group's linkage is broken), so it contributes the
+// group's mean masked value E[v·1{v in range}] — which sums to the
+// exact group total when a whole group matches — with per-row variance
+// E[v²·1] - E[v·1]² from the same histogram moments.
+EstimateWithVariance AnatomizedSumCore(const AnatomizedTable& anatomized,
+                                       const AggregateQuery& query) {
+  const Table& source = anatomized.source();
+  const int64_t n = source.num_rows();
+  const int32_t num_values = source.sa_spec().num_values;
+  int32_t lo = 0;
+  int32_t hi = num_values - 1;
+  if (query.has_sa_predicate()) {
+    lo = query.sa_lo;
+    hi = query.sa_hi;
+  }
+
+  std::vector<double> group_mean;
+  std::vector<double> group_var;
+  group_mean.reserve(anatomized.num_groups());
+  group_var.reserve(anatomized.num_groups());
+  for (size_t g = 0; g < anatomized.num_groups(); ++g) {
+    const double inv = 1.0 / static_cast<double>(anatomized.group_size(g));
+    const double mean =
+        static_cast<double>(anatomized.GroupSaValueSum(g, lo, hi)) * inv;
+    const double second =
+        static_cast<double>(anatomized.GroupSaValueSquareSum(g, lo, hi)) *
+        inv;
+    group_mean.push_back(mean);
+    // Non-negative mathematically; the max guards FP rounding only.
+    group_var.push_back(std::max(0.0, second - mean * mean));
+  }
+
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  preds.reserve(query.predicates.size());
+  for (const QueryPredicate& p : query.predicates) {
+    preds.push_back({source.qi_column(p.dim).data(), p.lo, p.hi});
+  }
+
+  EstimateWithVariance out;
+  for (int64_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const FlatPredicate& p : preds) {
+      const int32_t v = p.column[row];
+      if (v < p.lo || v > p.hi) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    const int32_t g = anatomized.group_of_row(row);
+    out.estimate += group_mean[g];
+    out.variance += group_var[g];
+  }
+  return out;
+}
+
+// SUM(SA) over a perturbed view: each class's per-value counts are
+// reconstructed independently (the width-1 instance of the count
+// path's formula, so GROUP-BY slots and this sum agree on the same
+// ĉ_v), value-weighted, then uniform-spread like the count estimate.
+EstimateWithVariance PerturbedSumCore(const PerturbedPublication& perturbed,
+                                      const EcSaIndex& index,
+                                      const AggregateQuery& query) {
+  const GeneralizedTable& published = perturbed.view;
+  const int32_t num_values = published.source().sa_spec().num_values;
+  int32_t lo = 0;
+  int32_t hi = num_values - 1;
+  if (query.has_sa_predicate()) {
+    lo = std::max(query.sa_lo, 0);
+    hi = std::min(query.sa_hi, num_values - 1);
+    if (lo > hi) return {};
+  }
+
+  EstimateWithVariance out;
+  for (size_t e = 0; e < published.num_ecs(); ++e) {
+    const EquivalenceClass& ec = published.ec(e);
+    const double fraction = BoxFraction(ec, query);
+    if (fraction == 0.0) continue;
+    const double size = static_cast<double>(ec.size());
+    double class_sum = 0.0;
+    double recon_var = 0.0;
+    for (int32_t v = lo; v <= hi; ++v) {
+      const double noisy = static_cast<double>(index.Count(e, v, v));
+      const double expected_noise = size * (1.0 - perturbed.retention) /
+                                    static_cast<double>(num_values);
+      const double reconstructed = std::clamp(
+          (noisy - expected_noise) / perturbed.retention, 0.0, size);
+      class_sum += reconstructed * static_cast<double>(v);
+      const double rate = noisy / size;
+      recon_var += static_cast<double>(v) * static_cast<double>(v) * size *
+                   rate * (1.0 - rate) /
+                   (perturbed.retention * perturbed.retention);
+    }
+    out.estimate += fraction * class_sum;
+    out.variance += fraction * fraction * recon_var +
+                    fraction * (1.0 - fraction) * class_sum * class_sum;
+  }
+  return out;
+}
+
 // Single implementation behind EstimateFromPerturbed and the perturbed
 // Estimator (same identity argument as AnatomizedCore).
 template <bool kWithVariance>
@@ -276,7 +382,8 @@ class GeneralizedEstimator final : public Estimator {
       std::shared_ptr<const GeneralizedTable> published)
       : published_(std::move(published)),
         sa_index_(*published_),
-        boxes_(*published_) {}
+        boxes_(*published_),
+        num_values_(published_->source().sa_spec().num_values) {}
 
   std::string Name() const override { return "generalized"; }
 
@@ -286,6 +393,50 @@ class GeneralizedEstimator final : public Estimator {
   EstimateWithVariance EstimateWithUncertainty(
       const AggregateQuery& query) const override {
     return EstimateImpl<true>(query);
+  }
+  int32_t sa_num_values() const override { return num_values_; }
+
+  // Uniform spread of each class's exact in-range SA value sum — the
+  // SUM analogue of the count path, with the same candidate prune and
+  // the clustered f(1-f)·s² variance per class.
+  EstimateWithVariance EstimateSumWithUncertainty(
+      const AggregateQuery& query) const override {
+    thread_local std::vector<uint64_t> mask;
+    boxes_.CandidateMask(query, &mask);
+    int32_t lo = 0;
+    int32_t hi = num_values_ - 1;
+    if (query.has_sa_predicate()) {
+      lo = query.sa_lo;
+      hi = query.sa_hi;
+    }
+    EstimateWithVariance out;
+    for (size_t w = 0; w < boxes_.words(); ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        const size_t e = w * 64 + static_cast<size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        double fraction = 1.0;
+        bool overlap = true;
+        for (const QueryPredicate& p : query.predicates) {
+          const int32_t box_lo = boxes_.box_lo(e, p.dim);
+          const int32_t box_hi = boxes_.box_hi(e, p.dim);
+          const int32_t plo = std::max(box_lo, p.lo);
+          const int32_t phi = std::min(box_hi, p.hi);
+          if (plo > phi) {
+            overlap = false;
+            break;
+          }
+          fraction *= static_cast<double>(phi - plo + 1) /
+                      static_cast<double>(box_hi - box_lo + 1);
+        }
+        if (!overlap) continue;
+        const double sum =
+            static_cast<double>(sa_index_.ValueSum(e, lo, hi));
+        out.estimate += fraction * sum;
+        out.variance += fraction * (1.0 - fraction) * sum * sum;
+      }
+    }
+    return out;
   }
 
  private:
@@ -342,6 +493,7 @@ class GeneralizedEstimator final : public Estimator {
   std::shared_ptr<const GeneralizedTable> published_;
   EcSaIndex sa_index_;
   GeneralizedBoxIndex boxes_;
+  int32_t num_values_;
 };
 
 class AnatomizedEstimator final : public Estimator {
@@ -357,6 +509,13 @@ class AnatomizedEstimator final : public Estimator {
   EstimateWithVariance EstimateWithUncertainty(
       const AggregateQuery& query) const override {
     return AnatomizedCore<true>(*view_, query);
+  }
+  int32_t sa_num_values() const override {
+    return view_->source().sa_spec().num_values;
+  }
+  EstimateWithVariance EstimateSumWithUncertainty(
+      const AggregateQuery& query) const override {
+    return AnatomizedSumCore(*view_, query);
   }
 
  private:
@@ -379,6 +538,13 @@ class PerturbedEstimator final : public Estimator {
       const AggregateQuery& query) const override {
     return PerturbedCore<true>(*publication_, sa_index_, query);
   }
+  int32_t sa_num_values() const override {
+    return publication_->view.source().sa_spec().num_values;
+  }
+  EstimateWithVariance EstimateSumWithUncertainty(
+      const AggregateQuery& query) const override {
+    return PerturbedSumCore(*publication_, sa_index_, query);
+  }
 
  private:
   std::shared_ptr<const PerturbedPublication> publication_;
@@ -386,6 +552,40 @@ class PerturbedEstimator final : public Estimator {
 };
 
 }  // namespace
+
+EstimateWithVariance Estimator::EstimateAvgWithUncertainty(
+    const AggregateQuery& query) const {
+  const EstimateWithVariance count = EstimateWithUncertainty(query);
+  if (count.estimate <= 0.0) return {};  // empty selection: AVG is 0
+  const EstimateWithVariance sum = EstimateSumWithUncertainty(query);
+  EstimateWithVariance out;
+  out.estimate = sum.estimate / count.estimate;
+  // Delta method for the ratio S/C, with the (positive) S-C covariance
+  // term dropped — conservative.
+  out.variance =
+      (sum.variance + out.estimate * out.estimate * count.variance) /
+      (count.estimate * count.estimate);
+  return out;
+}
+
+std::vector<EstimateWithVariance> Estimator::EstimateGroupByWithUncertainty(
+    const AggregateQuery& query) const {
+  const int32_t num_values = sa_num_values();
+  std::vector<EstimateWithVariance> out(static_cast<size_t>(num_values));
+  int32_t lo = 0;
+  int32_t hi = num_values - 1;
+  if (query.has_sa_predicate()) {
+    lo = std::max(query.sa_lo, 0);
+    hi = std::min(query.sa_hi, num_values - 1);
+  }
+  AggregateQuery point = query;
+  for (int32_t v = lo; v <= hi; ++v) {
+    point.sa_lo = v;
+    point.sa_hi = v;
+    out[static_cast<size_t>(v)] = EstimateWithUncertainty(point);
+  }
+  return out;
+}
 
 Result<std::unique_ptr<Estimator>> MakeEstimator(const PublishedView& view) {
   switch (view.kind()) {

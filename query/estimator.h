@@ -1,6 +1,7 @@
-// COUNT(*) estimation from anonymized publications (§6.2–6.3): the
-// data recipient answers aggregate queries from what each scheme
-// publishes instead of the raw microdata.
+// Aggregate estimation from anonymized publications (§6.2–6.3): the
+// data recipient answers COUNT(*), SUM(SA), AVG(SA) and GROUP-BY-SA
+// COUNT queries from what each scheme publishes instead of the raw
+// microdata.
 //
 //   - Generalized tables (BUREL, Mondrian, SABRE): each equivalence
 //     class answers with its matching-SA tuple count times the
@@ -73,6 +74,39 @@ class Estimator {
   // equals Estimate(query) bitwise.
   virtual EstimateWithVariance EstimateWithUncertainty(
       const AggregateQuery& query) const = 0;
+
+  // SA domain size of the wrapped publication; GROUP-BY answers carry
+  // one slot per value code 0..sa_num_values()-1.
+  virtual int32_t sa_num_values() const = 0;
+
+  // SUM(SA) estimate of `query`: Σ sa over the rows matching every
+  // predicate. Shapes answer with the same structure as their COUNT
+  // path — uniform spread weights each class's in-range SA value sum
+  // (generalized), QIT-matching rows contribute their group's mean
+  // masked value (Anatomy), perturbed views reconstruct per-value
+  // counts before weighting. Variance uses the same clustered design
+  // effect, with f(1-f)·s² per class.
+  virtual EstimateWithVariance EstimateSumWithUncertainty(
+      const AggregateQuery& query) const = 0;
+
+  // AVG(SA) = SUM/COUNT of the two estimates above, with the
+  // delta-method variance (varS + avg²·varC) / C² (the S-C covariance
+  // term is dropped — conservative for positively correlated numerator
+  // and denominator). An empty selection (count <= 0) answers {0, 0}.
+  // Non-virtual: every shape's AVG is its SUM over its COUNT by
+  // construction, which the consistency tests rely on.
+  EstimateWithVariance EstimateAvgWithUncertainty(
+      const AggregateQuery& query) const;
+
+  // GROUP-BY-SA COUNT: one COUNT estimate per SA value code, each a
+  // width-1 SA range query (sa_lo = sa_hi = v) through
+  // EstimateWithUncertainty — so every slot is bitwise identical to
+  // the equivalent standalone COUNT query, and the serving layer's
+  // expanded group requests agree with this method by construction.
+  // Values outside the query's SA range (when it has one) are {0, 0},
+  // matching the PreciseGroupCounts convention.
+  std::vector<EstimateWithVariance> EstimateGroupByWithUncertainty(
+      const AggregateQuery& query) const;
 };
 
 // Builds the estimator matching `view`'s shape, precomputing its

@@ -44,6 +44,21 @@ class PublishedView {
 
   Kind kind() const { return kind_; }
 
+  // Schema of the underlying source microdata, whatever the shape —
+  // the serving layer uses it to size GROUP-BY expansions and validate
+  // client queries without dispatching on kind itself.
+  const TableSchema& schema() const {
+    switch (kind_) {
+      case Kind::kAnatomized:
+        return anatomized_->source().schema();
+      case Kind::kPerturbed:
+        return perturbed_->view.source().schema();
+      case Kind::kGeneralized:
+        break;
+    }
+    return generalized_->source().schema();
+  }
+
   // Shape accessors; calling the wrong one for kind() aborts (the
   // shared_ptr getters below return null instead).
   const GeneralizedTable& generalized() const { return *generalized_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -40,6 +41,24 @@ Status ValidateWorkloadOptions(const TableSchema& schema,
   if (options.include_sa && schema.sa.num_values < 1) {
     return Status::InvalidArgument(
         "include_sa needs a non-empty SA domain");
+  }
+  return Status::Ok();
+}
+
+Status ValidateQuery(const TableSchema& schema, const AggregateQuery& query) {
+  std::vector<bool> seen(schema.qi.size(), false);
+  for (const QueryPredicate& p : query.predicates) {
+    if (p.dim < 0 || p.dim >= schema.num_qi()) {
+      return Status::InvalidArgument(StrFormat(
+          "predicate dimension %d outside [0, %d)", p.dim, schema.num_qi()));
+    }
+    if (seen[p.dim]) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate predicate on dimension %d (box estimators would "
+          "multiply the two fractions instead of intersecting the ranges)",
+          p.dim));
+    }
+    seen[p.dim] = true;
   }
   return Status::Ok();
 }
@@ -129,6 +148,10 @@ Result<std::vector<AggregateQuery>> GenerateWorkload(
               [](const QueryPredicate& a, const QueryPredicate& b) {
                 return a.dim < b.dim;
               });
+    // The generator's own output honors the boundary contract (distinct
+    // in-range dimensions) by construction; keep that as a structural
+    // assert so a generator change cannot silently break consumers.
+    BETALIKE_CHECK(ValidateQuery(schema, query).ok());
     workload.push_back(std::move(query));
   }
   return workload;
@@ -171,6 +194,81 @@ std::vector<int64_t> PreciseCounts(
     counts.push_back(count);
   }
   return counts;
+}
+
+std::vector<int64_t> PreciseSums(
+    const Table& table, const std::vector<AggregateQuery>& workload) {
+  std::vector<int64_t> sums;
+  sums.reserve(workload.size());
+  const int64_t n = table.num_rows();
+  const int32_t* sa = table.sa_column().data();
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  for (const AggregateQuery& query : workload) {
+    preds.clear();
+    for (const QueryPredicate& p : query.predicates) {
+      preds.push_back({table.qi_column(p.dim).data(), p.lo, p.hi});
+    }
+    if (query.has_sa_predicate()) {
+      preds.push_back({sa, query.sa_lo, query.sa_hi});
+    }
+    int64_t sum = 0;
+    for (int64_t row = 0; row < n; ++row) {
+      bool match = true;
+      for (const FlatPredicate& p : preds) {
+        const int32_t v = p.column[row];
+        if (v < p.lo || v > p.hi) {
+          match = false;
+          break;
+        }
+      }
+      sum += match ? sa[row] : 0;
+    }
+    sums.push_back(sum);
+  }
+  return sums;
+}
+
+std::vector<std::vector<int64_t>> PreciseGroupCounts(
+    const Table& table, const std::vector<AggregateQuery>& workload) {
+  std::vector<std::vector<int64_t>> groups;
+  groups.reserve(workload.size());
+  const int64_t n = table.num_rows();
+  const int32_t num_values = table.sa_spec().num_values;
+  const int32_t* sa = table.sa_column().data();
+  struct FlatPredicate {
+    const int32_t* column;
+    int32_t lo;
+    int32_t hi;
+  };
+  std::vector<FlatPredicate> preds;
+  for (const AggregateQuery& query : workload) {
+    preds.clear();
+    for (const QueryPredicate& p : query.predicates) {
+      preds.push_back({table.qi_column(p.dim).data(), p.lo, p.hi});
+    }
+    if (query.has_sa_predicate()) {
+      preds.push_back({sa, query.sa_lo, query.sa_hi});
+    }
+    std::vector<int64_t> per_value(static_cast<size_t>(num_values), 0);
+    for (int64_t row = 0; row < n; ++row) {
+      bool match = true;
+      for (const FlatPredicate& p : preds) {
+        const int32_t v = p.column[row];
+        if (v < p.lo || v > p.hi) {
+          match = false;
+          break;
+        }
+      }
+      if (match) ++per_value[sa[row]];
+    }
+    groups.push_back(std::move(per_value));
+  }
+  return groups;
 }
 
 }  // namespace betalike

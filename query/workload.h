@@ -64,6 +64,17 @@ struct WorkloadOptions {
 Status ValidateWorkloadOptions(const TableSchema& schema,
                                const WorkloadOptions& options);
 
+// Ok iff `query` is well-formed against `schema`: every predicate
+// names a QI dimension inside [0, #QIs), and no two predicates share a
+// dimension (a duplicate would intersect in PreciseCounts but multiply
+// in the box estimators — silently different answers, so it is
+// rejected at the boundary instead). An inverted SA range
+// (sa_lo > sa_hi, e.g. the {0, -1} default but also any other pair)
+// is legal and means "no SA predicate" everywhere; an inverted or
+// out-of-domain QI range is legal and simply matches nothing.
+// GenerateWorkload output always passes.
+Status ValidateQuery(const TableSchema& schema, const AggregateQuery& query);
+
 // Seeded deterministic workload: each query draws λ distinct QI
 // attributes uniformly and a uniformly-placed range of the target
 // length on each. Identical (schema, options) inputs produce an
@@ -73,6 +84,19 @@ Result<std::vector<AggregateQuery>> GenerateWorkload(
 
 // Ground truth: the exact COUNT(*) of every workload query on `table`.
 std::vector<int64_t> PreciseCounts(
+    const Table& table, const std::vector<AggregateQuery>& workload);
+
+// Ground truth for SUM(SA): per query, the exact Σ sa over the rows
+// matching every predicate (QI and SA alike). AVG ground truth is
+// PreciseSums[i] / PreciseCounts[i] when the count is non-zero.
+std::vector<int64_t> PreciseSums(
+    const Table& table, const std::vector<AggregateQuery>& workload);
+
+// Ground truth for GROUP-BY-SA COUNT: per query, one count per SA
+// value code (length = schema.sa.num_values) of the rows matching the
+// QI predicates and carrying that value. Values outside the query's SA
+// range (when it has one) are 0, matching the estimator convention.
+std::vector<std::vector<int64_t>> PreciseGroupCounts(
     const Table& table, const std::vector<AggregateQuery>& workload);
 
 }  // namespace betalike

@@ -60,7 +60,9 @@ class LatencyHistogram {
 
   uint64_t count() const { return total_; }
 
- private:
+  // The bucket mapping is public (and static) so tests can sweep every
+  // index without recording 2^64 samples.
+  //
   // Values below 2^(kSubBucketBits+1) index directly; above that, the
   // range is the position of the most significant bit and the
   // sub-bucket the kSubBucketBits bits after it.
@@ -81,13 +83,23 @@ class LatencyHistogram {
     const int range = index >> kSubBucketBits;
     const int sub = index & ((1 << kSubBucketBits) - 1);
     const int msb = range + kSubBucketBits - 1;
+    // The last two octaves' edges overflow uint64, so saturate at
+    // UINT64_MAX. Without this clamp, msb reaches 64..65 for indices
+    // >= 496 and the shift below is undefined behavior — those indices
+    // never hold samples (BucketIndex tops out at 495) but
+    // QuantileNanos's final fallthrough evaluates the very last one.
+    if (msb >= 64) return UINT64_MAX;
     // Upper edge of the sub-bucket: next sub-bucket's base minus one
-    // (for the top sub-bucket that base is the next octave's start).
+    // (for the top sub-bucket that base is the next octave's start;
+    // for the top sub-bucket of the 2^63 octave the sum wraps to 0 and
+    // the -1 yields UINT64_MAX — defined unsigned arithmetic, and the
+    // correct saturated edge).
     return ((uint64_t{1} << msb) +
             (static_cast<uint64_t>(sub + 1) << (msb - kSubBucketBits))) -
            1;
   }
 
+ private:
   std::array<uint64_t, kNumBuckets> counts_{};
   uint64_t total_ = 0;
 };

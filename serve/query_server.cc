@@ -1,20 +1,74 @@
 #include "serve/query_server.h"
 
-#include <chrono>
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace betalike {
+namespace {
+
+uint64_t ElapsedNanos(std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point stop) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count());
+}
+
+// RAII around the synchronous-call counter: AnswerBatch borrows the
+// caller's storage, so overlapping synchronous calls are a client bug
+// caught loudly instead of racing.
+class SyncCallGuard {
+ public:
+  explicit SyncCallGuard(std::atomic<int>* calls) : calls_(calls) {
+    const int prev = calls_->fetch_add(1, std::memory_order_acq_rel);
+    BETALIKE_CHECK(prev == 0)
+        << "QueryServer::AnswerBatch called while another synchronous batch "
+           "is in flight; the synchronous path is one-batch-at-a-time — "
+           "concurrent clients must use SubmitBatch";
+  }
+  ~SyncCallGuard() { calls_->fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int>* calls_;
+};
+
+}  // namespace
 
 Result<double> NormalCriticalValue(double confidence) {
   // Fixed two-sided z values; shortest decimal round-trips of the
-  // exact doubles.
-  if (confidence == 0.90) return 1.6448536269514722;
-  if (confidence == 0.95) return 1.959963984540054;
-  if (confidence == 0.99) return 2.5758293035489004;
+  // exact doubles. Levels are matched within a small absolute
+  // tolerance: a confidence that arrives through arithmetic (say
+  // 1.0 - 0.05) can sit an ULP away from the literal, and an exact ==
+  // would reject it — the three supported levels are far enough apart
+  // that the tolerance is unambiguous.
+  constexpr double kTolerance = 1e-9;
+  const auto matches = [confidence](double level) {
+    const double delta = confidence - level;
+    return delta < kTolerance && delta > -kTolerance;
+  };
+  if (matches(0.90)) return 1.6448536269514722;
+  if (matches(0.95)) return 1.959963984540054;
+  if (matches(0.99)) return 2.5758293035489004;
   return Status::InvalidArgument(
       "unsupported confidence level (use 0.90, 0.95, or 0.99)");
+}
+
+std::vector<ServedRequest> ExpandGroupBy(const AggregateQuery& query,
+                                         int32_t sa_num_values) {
+  int32_t lo = 0;
+  int32_t hi = sa_num_values - 1;
+  if (query.has_sa_predicate()) {
+    lo = std::max(query.sa_lo, 0);
+    hi = std::min(query.sa_hi, sa_num_values - 1);
+  }
+  std::vector<ServedRequest> requests;
+  if (lo > hi) return requests;
+  requests.reserve(static_cast<size_t>(hi - lo + 1));
+  for (int32_t v = lo; v <= hi; ++v) {
+    requests.push_back({query, AggregateKind::kGroupCount, v});
+  }
+  return requests;
 }
 
 Result<std::unique_ptr<QueryServer>> QueryServer::Create(
@@ -54,84 +108,193 @@ QueryServer::~QueryServer() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  // Pool threads only exit once the queue is empty, so every submitted
+  // future completes before the join. Without a pool every job was
+  // answered inline at submission and the queue was never used.
   for (std::thread& t : threads_) t.join();
 }
 
-std::vector<ServedAnswer> QueryServer::AnswerBatch(Span<AggregateQuery> batch) {
-  std::vector<ServedAnswer> answers(batch.size());
-  if (batch.empty()) return answers;
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    batch_ = batch;
-    answers_ = &answers;
-    next_chunk_.store(0, std::memory_order_relaxed);
-    active_ = static_cast<int>(threads_.size());
-    ++generation_;
-  }
-  work_cv_.notify_all();
-
-  // The caller participates as worker 0, then waits out the pool.
-  WorkOn(0);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return active_ == 0; });
-    answers_ = nullptr;
-    batch_ = Span<AggregateQuery>();
-  }
-  return answers;
+std::vector<ServedAnswer> QueryServer::AnswerBatch(
+    Span<AggregateQuery> batch) {
+  SyncCallGuard guard(&sync_calls_);
+  if (batch.empty()) return {};
+  auto job = std::make_shared<BatchJob>();
+  job->count_queries = batch;
+  job->answers.resize(batch.size());
+  std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
+  Submit(job);
+  // The caller participates as worker 0 (a no-op once the cursor is
+  // exhausted), then waits out the pool.
+  WorkOn(job, 0);
+  return done.get();
 }
 
-void QueryServer::WorkOn(int worker) {
+std::vector<ServedAnswer> QueryServer::AnswerBatch(
+    Span<ServedRequest> batch) {
+  SyncCallGuard guard(&sync_calls_);
+  if (batch.empty()) return {};
+  auto job = std::make_shared<BatchJob>();
+  job->requests = batch;
+  job->answers.resize(batch.size());
+  std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
+  Submit(job);
+  WorkOn(job, 0);
+  return done.get();
+}
+
+std::future<std::vector<ServedAnswer>> QueryServer::SubmitBatch(
+    std::vector<AggregateQuery> batch) {
+  auto job = std::make_shared<BatchJob>();
+  job->owned_queries = std::move(batch);
+  job->count_queries = Span<AggregateQuery>(job->owned_queries);
+  job->answers.resize(job->owned_queries.size());
+  std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
+  if (job->owned_queries.empty()) {
+    job->promise.set_value({});
+    return done;
+  }
+  Submit(job);
+  return done;
+}
+
+std::future<std::vector<ServedAnswer>> QueryServer::SubmitBatch(
+    std::vector<ServedRequest> batch) {
+  auto job = std::make_shared<BatchJob>();
+  job->owned_requests = std::move(batch);
+  job->requests = Span<ServedRequest>(job->owned_requests);
+  job->answers.resize(job->owned_requests.size());
+  std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
+  if (job->owned_requests.empty()) {
+    job->promise.set_value({});
+    return done;
+  }
+  Submit(job);
+  return done;
+}
+
+void QueryServer::Submit(const std::shared_ptr<BatchJob>& job) {
+  job->start = std::chrono::steady_clock::now();
+  if (threads_.empty()) {
+    // No pool: answer on the submitting thread, completing the job
+    // (and its future) before returning.
+    WorkOn(job, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  work_cv_.notify_all();
+}
+
+ServedAnswer QueryServer::AnswerOne(const AggregateQuery& query,
+                                    AggregateKind kind,
+                                    int32_t group_value) const {
+  EstimateWithVariance ev;
+  bool integer_valued = true;
+  switch (kind) {
+    case AggregateKind::kCount:
+      ev = estimator_->EstimateWithUncertainty(query);
+      break;
+    case AggregateKind::kSum:
+      ev = estimator_->EstimateSumWithUncertainty(query);
+      break;
+    case AggregateKind::kAvg:
+      ev = estimator_->EstimateAvgWithUncertainty(query);
+      integer_valued = false;
+      break;
+    case AggregateKind::kGroupCount:
+      if (query.has_sa_predicate() &&
+          (group_value < query.sa_lo || group_value > query.sa_hi)) {
+        // Outside the query's SA range the slot is exactly zero — the
+        // EstimateGroupByWithUncertainty convention.
+        break;
+      } else {
+        AggregateQuery point = query;
+        point.sa_lo = group_value;
+        point.sa_hi = group_value;
+        ev = estimator_->EstimateWithUncertainty(point);
+      }
+      break;
+  }
+  const double sd = DeterministicSqrt(ev.variance > 0.0 ? ev.variance : 0.0);
+  // +0.5 continuity correction: the interval is for an integer-valued
+  // aggregate estimated by a continuous model. AVG is a ratio, not an
+  // integer, so it takes the plain z·sd half-width.
+  const double half = integer_valued ? z_ * sd + 0.5 : z_ * sd;
+  ServedAnswer out;
+  out.estimate = ev.estimate;
+  out.ci_lo = ev.estimate - half > 0.0 ? ev.estimate - half : 0.0;
+  // An infinite variance (or any arithmetic that poisons `half`) must
+  // widen the interval, never invalidate it: a NaN upper bound fails
+  // every coverage comparison, so clamp it to +inf — "no upper
+  // bound" — instead.
+  const double hi = ev.estimate + half;
+  out.ci_hi = hi == hi ? hi : kDoubleInfinity;
+  return out;
+}
+
+void QueryServer::WorkOn(const std::shared_ptr<BatchJob>& job, int worker) {
   const size_t chunk = static_cast<size_t>(options_.chunk_size);
+  const size_t size = job->size();
+  const bool count_mode = !job->count_queries.empty();
   LatencyHistogram& hist = histograms_[worker];
   for (;;) {
     const size_t begin =
-        next_chunk_.fetch_add(chunk, std::memory_order_relaxed);
-    if (begin >= batch_.size()) return;
-    const size_t end = std::min(begin + chunk, batch_.size());
+        job->next_index.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= size) return;
+    const size_t end = std::min(begin + chunk, size);
     for (size_t i = begin; i < end; ++i) {
       const auto start = std::chrono::steady_clock::now();
-      const EstimateWithVariance ev =
-          estimator_->EstimateWithUncertainty(batch_[i]);
-      const double sd =
-          DeterministicSqrt(ev.variance > 0.0 ? ev.variance : 0.0);
-      // +0.5 continuity correction: the interval is for an integer
-      // count estimated by a continuous model.
-      const double half = z_ * sd + 0.5;
-      ServedAnswer& out = (*answers_)[i];
-      out.estimate = ev.estimate;
-      out.ci_lo = ev.estimate - half > 0.0 ? ev.estimate - half : 0.0;
-      // An infinite variance (or any arithmetic that poisons `half`)
-      // must widen the interval, never invalidate it: a NaN upper
-      // bound fails every coverage comparison, so clamp it to +inf —
-      // "no upper bound" — instead.
-      const double hi = ev.estimate + half;
-      out.ci_hi = hi == hi ? hi : kDoubleInfinity;
-      const auto stop = std::chrono::steady_clock::now();
-      hist.Record(static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
-              .count()));
+      job->answers[i] =
+          count_mode
+              ? AnswerOne(job->count_queries[i], AggregateKind::kCount, 0)
+              : AnswerOne(job->requests[i].query, job->requests[i].kind,
+                          job->requests[i].group_value);
+      hist.Record(ElapsedNanos(start, std::chrono::steady_clock::now()));
+    }
+    // acq_rel: every worker's answer stores happen-before its own
+    // fetch_add, so the last finisher (which observes completed ==
+    // size) sees all of them before moving the vector out.
+    const size_t done =
+        job->completed.fetch_add(end - begin, std::memory_order_acq_rel) +
+        (end - begin);
+    if (done == size) {
+      const uint64_t batch_nanos =
+          ElapsedNanos(job->start, std::chrono::steady_clock::now());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch_histogram_.Record(batch_nanos);
+      }
+      job->promise.set_value(std::move(job->answers));
     }
   }
 }
 
 void QueryServer::WorkerLoop(int worker) {
-  uint64_t seen_generation = 0;
   for (;;) {
+    std::shared_ptr<BatchJob> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this, seen_generation] {
-        return shutdown_ || generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = generation_;
+      for (;;) {
+        // Jobs stay at the front while they still have unclaimed
+        // chunks so that many workers can serve one batch; an
+        // exhausted job (its last chunks may still be in flight
+        // elsewhere) is popped to expose the next one.
+        while (!queue_.empty() &&
+               queue_.front()->next_index.load(std::memory_order_relaxed) >=
+                   queue_.front()->size()) {
+          queue_.pop_front();
+        }
+        if (!queue_.empty()) {
+          job = queue_.front();
+          break;
+        }
+        if (shutdown_) return;
+        work_cv_.wait(lock);
+      }
     }
-    WorkOn(worker);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_ == 0) done_cv_.notify_one();
-    }
+    WorkOn(job, worker);
   }
 }
 
@@ -141,8 +304,15 @@ LatencyHistogram QueryServer::MergedHistogram() const {
   return merged;
 }
 
+LatencyHistogram QueryServer::BatchHistogram() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_histogram_;
+}
+
 void QueryServer::ResetHistograms() {
   for (LatencyHistogram& h : histograms_) h.Reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_histogram_.Reset();
 }
 
 }  // namespace betalike

@@ -1,26 +1,42 @@
-// Batched, multi-threaded COUNT(*) serving over one anonymized
+// Batched, multi-threaded aggregate serving over one anonymized
 // publication (the ROADMAP's "millions of users" layer).
 //
 // A QueryServer owns a shared, immutable Estimator (query/estimator.h)
-// and a pool of persistent worker threads. AnswerBatch() splits the
-// batch into fixed-size chunks claimed off an atomic cursor; every
-// answer depends only on its query and the immutable estimator, so the
-// result vector is bit-identical for any worker count or scheduling
-// order.
+// and a pool of persistent worker threads draining a FIFO queue of
+// batch jobs. Two entry points share that machinery:
 //
-// Each answer carries a confidence interval derived from the
-// estimator's model variance (clustered design-effect spread variance
-// aggregated across contributing classes, plus reconstruction noise
-// for perturbed publications): half-width = z · sqrt(variance) + 0.5,
-// computed with integer/IEEE arithmetic only (Newton's method sqrt, a
-// fixed z table) so served intervals are identical across platforms —
-// no libm.
+//   - AnswerBatch(): synchronous — the caller enqueues its batch,
+//     participates as one more worker, and blocks until every answer
+//     is in. One in-flight synchronous batch at a time (a concurrent
+//     second call CHECK-fails; see below).
+//   - SubmitBatch(): asynchronous — the batch is moved into an owned
+//     job, a std::future of the answers is returned immediately, and
+//     any number of client threads may submit concurrently. The pool
+//     drains jobs in submission order, many workers per job.
+//
+// Either way a batch is split into fixed-size chunks claimed off an
+// atomic cursor, and every answer depends only on its request and the
+// immutable estimator — so the result vector is bit-identical for any
+// worker count, scheduling order, or sync/async entry point.
+//
+// Requests cover four aggregates: COUNT(*), SUM(SA), AVG(SA), and
+// GROUP-BY-SA COUNT slots (one width-1 count per SA value; see
+// ExpandGroupBy). Each answer carries a confidence interval derived
+// from the estimator's model variance: half-width = z·sqrt(variance),
+// plus a +0.5 continuity correction for the integer-valued aggregates
+// (COUNT and its GROUP-BY slots, SUM of integer codes) but not AVG.
+// All interval arithmetic uses integer/IEEE operations only (Newton's
+// method sqrt, a fixed z table) so served intervals are identical
+// across platforms — no libm.
 #ifndef BETALIKE_SERVE_QUERY_SERVER_H_
 #define BETALIKE_SERVE_QUERY_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -35,14 +51,45 @@
 namespace betalike {
 
 // Two-sided standard-normal critical value for the supported
-// confidence levels (0.90, 0.95, 0.99); InvalidArgument otherwise.
-// Fixed constants, not an erf⁻¹ evaluation, for cross-platform
-// identity.
+// confidence levels (0.90, 0.95, 0.99), matched within a small
+// absolute tolerance — a level that arrives through arithmetic
+// (e.g. 1 - 0.05) may differ from the literal by an ULP, which must
+// not be rejected. InvalidArgument for anything else. Fixed constants,
+// not an erf⁻¹ evaluation, for cross-platform identity.
 Result<double> NormalCriticalValue(double confidence);
 
-// One served answer: the point estimate (bit-identical to
-// Estimator::Estimate) and a confidence interval at the server's
-// configured level. ci_lo is clamped at 0 (counts are non-negative).
+// The aggregate a served request asks for.
+enum class AggregateKind {
+  kCount,       // COUNT(*) — the original served aggregate
+  kSum,         // SUM(SA) over the matching rows
+  kAvg,         // AVG(SA) = SUM/COUNT (no continuity correction)
+  kGroupCount,  // one GROUP-BY-SA slot: COUNT at SA value group_value
+};
+
+// One client request: a query plus the aggregate to serve for it. For
+// kGroupCount, `group_value` selects the SA value of the slot; the
+// answer is bitwise the same slot of
+// Estimator::EstimateGroupByWithUncertainty (zero when the value lies
+// outside the query's SA range). `group_value` is ignored by the other
+// kinds.
+struct ServedRequest {
+  AggregateQuery query;
+  AggregateKind kind = AggregateKind::kCount;
+  int32_t group_value = 0;
+};
+
+// Expands a GROUP-BY-SA query into its width-1 kGroupCount requests —
+// one per SA value in the query's effective range (the full domain
+// [0, sa_num_values) when it has no SA predicate); empty when the
+// clamped range is. Serving the expansion yields, slot for slot, the
+// in-range entries of EstimateGroupByWithUncertainty.
+std::vector<ServedRequest> ExpandGroupBy(const AggregateQuery& query,
+                                         int32_t sa_num_values);
+
+// One served answer: the point estimate (bit-identical to the matching
+// Estimator method) and a confidence interval at the server's
+// configured level. ci_lo is clamped at 0 (every served aggregate of
+// non-negative SA codes is non-negative).
 struct ServedAnswer {
   double estimate = 0.0;
   double ci_lo = 0.0;
@@ -50,8 +97,10 @@ struct ServedAnswer {
 };
 
 struct QueryServerOptions {
-  // Total workers answering a batch, *including* the calling thread:
-  // 1 answers inline, n spawns n-1 pool threads.
+  // Total workers answering a batch, *including* the calling thread of
+  // a synchronous AnswerBatch: 1 answers inline (SubmitBatch then
+  // completes on the submitting thread before returning), n spawns
+  // n-1 pool threads.
   int num_workers = 1;
   // Nominal two-sided coverage of the served intervals.
   double confidence = 0.95;
@@ -68,6 +117,8 @@ class QueryServer {
       std::shared_ptr<const Estimator> estimator,
       const QueryServerOptions& options);
 
+  // Drains every queued job (pending futures still complete), then
+  // joins the pool.
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -75,48 +126,112 @@ class QueryServer {
 
   // Answers every query in `batch`, in order. Deterministic: the
   // result depends only on the batch and the publication, never on
-  // num_workers or thread scheduling. Not itself thread-safe — one
-  // batch at a time (workers parallelize within the batch).
+  // num_workers or thread scheduling. Synchronous and not reentrant —
+  // a second thread calling while a batch is in flight CHECK-fails
+  // (concurrent clients must use SubmitBatch); the batch Span must
+  // stay valid until the call returns, which the blocking guarantees.
   std::vector<ServedAnswer> AnswerBatch(Span<AggregateQuery> batch);
 
+  // As above for mixed-aggregate batches: one answer per request, in
+  // order. A kCount request answers bit-identically to the same query
+  // through the COUNT(*) overload.
+  std::vector<ServedAnswer> AnswerBatch(Span<ServedRequest> batch);
+
+  // Asynchronous submission: moves the batch into an owned job, queues
+  // it behind any in-flight work, and returns a future that yields the
+  // answers (same values, bit for bit, as the synchronous overloads).
+  // Safe to call from any number of client threads concurrently; jobs
+  // are served FIFO in submission order. With num_workers == 1 there
+  // is no pool, so the batch is answered on the submitting thread and
+  // the returned future is already ready.
+  std::future<std::vector<ServedAnswer>> SubmitBatch(
+      std::vector<AggregateQuery> batch);
+  std::future<std::vector<ServedAnswer>> SubmitBatch(
+      std::vector<ServedRequest> batch);
+
   // Per-worker latency histogram of individual query service times
-  // (worker 0 is the calling thread). Snapshots between batches.
+  // (worker 0 is the thread calling AnswerBatch, or the submitting
+  // thread when num_workers == 1). Snapshots between batches.
   const LatencyHistogram& worker_histogram(int worker) const {
     return histograms_[worker];
   }
   // All workers' histograms merged.
   LatencyHistogram MergedHistogram() const;
+
+  // Whole-batch latency attribution: one sample per completed batch,
+  // measured from submission (or the start of a synchronous call) to
+  // the last answer — so queueing delay behind earlier jobs is
+  // included, which is what an async client experiences. Snapshots
+  // between batches.
+  LatencyHistogram BatchHistogram() const;
+
   void ResetHistograms();
 
   int num_workers() const { return options_.num_workers; }
   double confidence() const { return options_.confidence; }
 
  private:
+  // One queued batch. Async jobs own their requests; the synchronous
+  // path borrows the caller's span (the caller blocks until the job
+  // completes, keeping it valid).
+  struct BatchJob {
+    // Exactly one of these is non-empty. Count-only jobs keep the bare
+    // query form so the hot path stays identical to the original
+    // COUNT(*) server.
+    Span<AggregateQuery> count_queries;
+    Span<ServedRequest> requests;
+    std::vector<AggregateQuery> owned_queries;
+    std::vector<ServedRequest> owned_requests;
+
+    std::vector<ServedAnswer> answers;
+    std::atomic<size_t> next_index{0};  // chunk-claim cursor
+    std::atomic<size_t> completed{0};   // answers finished
+    std::chrono::steady_clock::time_point start;
+    std::promise<std::vector<ServedAnswer>> promise;
+
+    size_t size() const {
+      return count_queries.empty() ? requests.size() : count_queries.size();
+    }
+  };
+
   QueryServer(std::shared_ptr<const Estimator> estimator,
               const QueryServerOptions& options, double z);
 
-  // Answers chunks off next_chunk_ until the batch is exhausted,
-  // recording per-query latency into histograms_[worker].
-  void WorkOn(int worker);
+  // One answer; the kind dispatch happens here so every entry point
+  // shares the exact operation sequence.
+  ServedAnswer AnswerOne(const AggregateQuery& query, AggregateKind kind,
+                         int32_t group_value) const;
+
+  // Stamps the job's start time and either queues it for the pool
+  // (num_workers > 1) or answers it inline on the calling thread.
+  void Submit(const std::shared_ptr<BatchJob>& job);
+
+  // Claims and answers chunks of `job` until its cursor is exhausted,
+  // recording per-query latency into histograms_[worker]. The worker
+  // that finishes the job's last answer records the batch latency and
+  // fulfills the promise.
+  void WorkOn(const std::shared_ptr<BatchJob>& job, int worker);
+
+  // Pool thread main: serve the front job until the queue is empty and
+  // shutdown is requested.
   void WorkerLoop(int worker);
 
   const std::shared_ptr<const Estimator> estimator_;
   const QueryServerOptions options_;
   const double z_;  // critical value for options_.confidence
 
-  // Current batch, published to workers under mu_.
-  Span<AggregateQuery> batch_;
-  std::vector<ServedAnswer>* answers_ = nullptr;
-  std::atomic<size_t> next_chunk_{0};
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a new batch
-  std::condition_variable done_cv_;   // caller waits for active_ == 0
-  uint64_t generation_ = 0;           // bumped per batch
-  int active_ = 0;                    // pool workers still in WorkOn
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // pool waits for queued jobs
+  std::deque<std::shared_ptr<BatchJob>> queue_;
   bool shutdown_ = false;
 
+  // Guard against concurrent *synchronous* calls: AnswerBatch borrows
+  // the caller's storage and hogs the pool front, so overlapping calls
+  // are a client bug — caught loudly instead of racing.
+  std::atomic<int> sync_calls_{0};
+
   std::vector<LatencyHistogram> histograms_;
+  LatencyHistogram batch_histogram_;  // guarded by mu_
   std::vector<std::thread> threads_;
 };
 

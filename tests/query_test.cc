@@ -592,5 +592,276 @@ TEST(QueryServer, AnswerBatchDeterministicAcrossWorkerCounts) {
   }
 }
 
+TEST(Workload, ValidateQueryRejectsDuplicateAndOutOfRangeDims) {
+  const auto table = SmallCensus(100);
+  const TableSchema& schema = table->schema();
+
+  AggregateQuery ok_query;
+  ok_query.predicates.push_back({0, 20, 40});
+  ok_query.predicates.push_back({2, 1, 3});
+  EXPECT_OK(ValidateQuery(schema, ok_query));
+
+  AggregateQuery dup = ok_query;
+  dup.predicates.push_back({0, 30, 50});
+  EXPECT_FALSE(ValidateQuery(schema, dup).ok());
+
+  AggregateQuery negative = ok_query;
+  negative.predicates.push_back({-1, 0, 1});
+  EXPECT_FALSE(ValidateQuery(schema, negative).ok());
+
+  AggregateQuery beyond = ok_query;
+  beyond.predicates.push_back({schema.num_qi(), 0, 1});
+  EXPECT_FALSE(ValidateQuery(schema, beyond).ok());
+
+  // Inverted or out-of-domain ranges are legal (they match nothing or,
+  // for the SA pair, mean "no predicate") — only the dimension
+  // structure is policed here.
+  AggregateQuery inverted = ok_query;
+  inverted.predicates[0] = {0, 40, 20};
+  inverted.sa_lo = 5;
+  inverted.sa_hi = 2;
+  EXPECT_OK(ValidateQuery(schema, inverted));
+
+  // An SA-only query (no QI predicates) is fine.
+  AggregateQuery sa_only;
+  sa_only.sa_lo = 0;
+  sa_only.sa_hi = 3;
+  EXPECT_OK(ValidateQuery(schema, sa_only));
+}
+
+TEST(Workload, PreciseSumsAndGroupCountsMatchRowWiseMatches) {
+  const auto table = SmallCensus(800);
+  for (bool include_sa : {false, true}) {
+    WorkloadOptions options;
+    options.num_queries = 40;
+    options.lambda = 2;
+    options.include_sa = include_sa;
+    options.seed = include_sa ? 107 : 109;
+    auto workload = GenerateWorkload(table->schema(), options);
+    ASSERT_OK(workload);
+
+    const std::vector<int64_t> sums = PreciseSums(*table, *workload);
+    const std::vector<std::vector<int64_t>> groups =
+        PreciseGroupCounts(*table, *workload);
+    const std::vector<int64_t> counts = PreciseCounts(*table, *workload);
+    ASSERT_EQ(sums.size(), workload->size());
+    ASSERT_EQ(groups.size(), workload->size());
+
+    const int32_t num_values = table->sa_spec().num_values;
+    for (size_t i = 0; i < workload->size(); ++i) {
+      const AggregateQuery& query = (*workload)[i];
+      int64_t expected_sum = 0;
+      std::vector<int64_t> expected_group(num_values, 0);
+      for (int64_t row = 0; row < table->num_rows(); ++row) {
+        if (!query.Matches(*table, row)) continue;
+        expected_sum += table->sa_value(row);
+        ++expected_group[table->sa_value(row)];
+      }
+      EXPECT_EQ(sums[i], expected_sum);
+      ASSERT_EQ(groups[i].size(), static_cast<size_t>(num_values));
+      int64_t group_total = 0;
+      for (int32_t v = 0; v < num_values; ++v) {
+        EXPECT_EQ(groups[i][v], expected_group[v]);
+        group_total += groups[i][v];
+        if (query.has_sa_predicate() &&
+            (v < query.sa_lo || v > query.sa_hi)) {
+          EXPECT_EQ(groups[i][v], 0);
+        }
+      }
+      // The group slots partition the query's count.
+      EXPECT_EQ(group_total, counts[i]);
+    }
+  }
+}
+
+// Each shape's SUM/AVG/GROUP-BY degenerates to the exact answer when
+// the publication carries full information: point boxes (generalized),
+// singleton groups (Anatomy), retention 1 (perturbed, over point
+// boxes).
+TEST(EstimatorAggregates, ExactOnFullInformationPublications) {
+  const auto table = SmallCensus(400);
+  std::vector<std::vector<int64_t>> singleton_rows;
+  for (int64_t row = 0; row < table->num_rows(); ++row) {
+    singleton_rows.push_back({row});
+  }
+  auto published = GeneralizedTable::Create(table, singleton_rows);
+  ASSERT_OK(published);
+
+  std::vector<std::shared_ptr<const Estimator>> estimators;
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Generalized(*published)));
+  estimators.push_back(MakeEstimatorOrDie(PublishedView::Anatomized(
+      AnatomizedTable::FromGrouping(*published))));
+  PerturbOptions perturb_options;
+  perturb_options.retention = 1.0;  // randomized response keeps every SA
+  auto perturbed = PerturbSaWithinEcs(*published, perturb_options);
+  ASSERT_OK(perturbed);
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Perturbed(std::move(*perturbed))));
+
+  for (bool include_sa : {false, true}) {
+    WorkloadOptions options;
+    options.num_queries = 40;
+    options.lambda = 2;
+    options.selectivity = 0.2;
+    options.include_sa = include_sa;
+    options.seed = include_sa ? 113 : 127;
+    auto workload = GenerateWorkload(table->schema(), options);
+    ASSERT_OK(workload);
+    const std::vector<int64_t> counts = PreciseCounts(*table, *workload);
+    const std::vector<int64_t> sums = PreciseSums(*table, *workload);
+    const std::vector<std::vector<int64_t>> groups =
+        PreciseGroupCounts(*table, *workload);
+
+    for (const auto& estimator : estimators) {
+      for (size_t i = 0; i < workload->size(); ++i) {
+        const AggregateQuery& query = (*workload)[i];
+        const EstimateWithVariance sum =
+            estimator->EstimateSumWithUncertainty(query);
+        EXPECT_NEAR(sum.estimate, static_cast<double>(sums[i]), 1e-6);
+
+        const EstimateWithVariance avg =
+            estimator->EstimateAvgWithUncertainty(query);
+        const double expected_avg =
+            counts[i] > 0 ? static_cast<double>(sums[i]) /
+                                static_cast<double>(counts[i])
+                          : 0.0;
+        EXPECT_NEAR(avg.estimate, expected_avg, 1e-6);
+
+        const std::vector<EstimateWithVariance> by_value =
+            estimator->EstimateGroupByWithUncertainty(query);
+        ASSERT_EQ(by_value.size(), groups[i].size());
+        for (size_t v = 0; v < by_value.size(); ++v) {
+          EXPECT_NEAR(by_value[v].estimate,
+                      static_cast<double>(groups[i][v]), 1e-6);
+        }
+      }
+    }
+  }
+}
+
+// On coarse publications the aggregate estimates are not exact, but
+// the internal identities must hold for every shape: AVG is bitwise
+// SUM/COUNT, each GROUP-BY slot is bitwise the matching width-1 COUNT
+// query, and the slots outside an SA range are zero.
+TEST(EstimatorAggregates, InternalConsistencyOnCoarsePublications) {
+  const auto table = SmallCensus(1200);
+  const GeneralizedTable published = ModKPublication(table, 6);
+
+  std::vector<std::shared_ptr<const Estimator>> estimators;
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Generalized(published)));
+  estimators.push_back(MakeEstimatorOrDie(
+      PublishedView::Anatomized(AnatomizedTable::FromGrouping(published))));
+  PerturbOptions perturb_options;
+  perturb_options.retention = 0.6;
+  perturb_options.seed = 131;
+  auto perturbed = PerturbSaWithinEcs(published, perturb_options);
+  ASSERT_OK(perturbed);
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Perturbed(std::move(*perturbed))));
+
+  for (bool include_sa : {false, true}) {
+    const auto workload =
+        MixedWorkload(table->schema(), include_sa, include_sa ? 137 : 139);
+    for (const auto& estimator : estimators) {
+      const int32_t num_values = estimator->sa_num_values();
+      ASSERT_EQ(num_values, table->sa_spec().num_values);
+      for (const AggregateQuery& query : workload) {
+        const EstimateWithVariance count =
+            estimator->EstimateWithUncertainty(query);
+        const EstimateWithVariance sum =
+            estimator->EstimateSumWithUncertainty(query);
+        EXPECT_GE(sum.variance, 0.0);
+
+        const EstimateWithVariance avg =
+            estimator->EstimateAvgWithUncertainty(query);
+        if (count.estimate > 0.0) {
+          EXPECT_EQ(avg.estimate, sum.estimate / count.estimate);
+          EXPECT_GE(avg.variance, 0.0);
+        } else {
+          EXPECT_EQ(avg.estimate, 0.0);
+          EXPECT_EQ(avg.variance, 0.0);
+        }
+
+        const std::vector<EstimateWithVariance> by_value =
+            estimator->EstimateGroupByWithUncertainty(query);
+        ASSERT_EQ(by_value.size(), static_cast<size_t>(num_values));
+        AggregateQuery point = query;
+        for (int32_t v = 0; v < num_values; ++v) {
+          if (query.has_sa_predicate() &&
+              (v < query.sa_lo || v > query.sa_hi)) {
+            EXPECT_EQ(by_value[v].estimate, 0.0);
+            EXPECT_EQ(by_value[v].variance, 0.0);
+            continue;
+          }
+          point.sa_lo = v;
+          point.sa_hi = v;
+          const EstimateWithVariance slot =
+              estimator->EstimateWithUncertainty(point);
+          EXPECT_EQ(by_value[v].estimate, slot.estimate);
+          EXPECT_EQ(by_value[v].variance, slot.variance);
+        }
+      }
+    }
+  }
+}
+
+// An inverted SA range (sa_lo > sa_hi beyond the {0, -1} default) is
+// "no SA predicate" for every consumer: generation ground truth,
+// estimation, and the aggregate extensions all treat it identically to
+// the defaulted query.
+TEST(EstimatorAggregates, InvertedSaRangeMeansNoPredicateEverywhere) {
+  const auto table = SmallCensus(900);
+  const GeneralizedTable published = ModKPublication(table, 5);
+
+  std::vector<std::shared_ptr<const Estimator>> estimators;
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Generalized(published)));
+  estimators.push_back(MakeEstimatorOrDie(
+      PublishedView::Anatomized(AnatomizedTable::FromGrouping(published))));
+  PerturbOptions perturb_options;
+  perturb_options.retention = 0.8;
+  perturb_options.seed = 149;
+  auto perturbed = PerturbSaWithinEcs(published, perturb_options);
+  ASSERT_OK(perturbed);
+  estimators.push_back(
+      MakeEstimatorOrDie(PublishedView::Perturbed(std::move(*perturbed))));
+
+  const auto workload = MixedWorkload(table->schema(), false, 151);
+  std::vector<AggregateQuery> inverted = workload;
+  for (AggregateQuery& query : inverted) {
+    query.sa_lo = 5;  // non-default inverted pair
+    query.sa_hi = 2;
+    ASSERT_FALSE(query.has_sa_predicate());
+  }
+
+  EXPECT_TRUE(PreciseCounts(*table, workload) ==
+              PreciseCounts(*table, inverted));
+  EXPECT_TRUE(PreciseSums(*table, workload) == PreciseSums(*table, inverted));
+  EXPECT_TRUE(PreciseGroupCounts(*table, workload) ==
+              PreciseGroupCounts(*table, inverted));
+
+  for (const auto& estimator : estimators) {
+    for (size_t i = 0; i < workload.size(); ++i) {
+      EXPECT_EQ(estimator->Estimate(workload[i]),
+                estimator->Estimate(inverted[i]));
+      EXPECT_EQ(estimator->EstimateSumWithUncertainty(workload[i]).estimate,
+                estimator->EstimateSumWithUncertainty(inverted[i]).estimate);
+      EXPECT_EQ(estimator->EstimateAvgWithUncertainty(workload[i]).estimate,
+                estimator->EstimateAvgWithUncertainty(inverted[i]).estimate);
+      const auto by_default =
+          estimator->EstimateGroupByWithUncertainty(workload[i]);
+      const auto by_inverted =
+          estimator->EstimateGroupByWithUncertainty(inverted[i]);
+      ASSERT_EQ(by_default.size(), by_inverted.size());
+      for (size_t v = 0; v < by_default.size(); ++v) {
+        EXPECT_EQ(by_default[v].estimate, by_inverted[v].estimate);
+        EXPECT_EQ(by_default[v].variance, by_inverted[v].variance);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace betalike

@@ -1,13 +1,28 @@
 // serve/ subsystem tests: the libm-free sqrt against <cmath>, the
-// fixed z table, latency-histogram bucketing/quantiles, QueryServer
-// option validation, Span slicing, and the served confidence
-// intervals — exact half-width on a degenerate (one-row-per-EC)
-// publication and empirical coverage where the uniform-spread model
-// actually holds.
+// fixed z table (including ULP-noise tolerance), latency-histogram
+// bucketing/quantiles and top-octave edge saturation, QueryServer
+// option validation, Span slicing, the served confidence intervals —
+// exact half-width on a degenerate (one-row-per-EC) publication and
+// empirical coverage where the uniform-spread model actually holds —
+// plus the async serving path: SubmitBatch futures bitwise-equal to
+// synchronous answers at every worker count, concurrent multi-client
+// submission, mixed-aggregate batches against the estimator's own
+// methods, and the synchronous re-entrancy guard (a fork-based death
+// test).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <future>
 #include <limits>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -289,6 +304,419 @@ TEST(QueryServer, CoverageNearNominalWhereModelHolds) {
       static_cast<double>(covered) / static_cast<double>(answers.size());
   EXPECT_GE(coverage, 0.85);
   EXPECT_LE(coverage, 1.0);
+}
+
+TEST(NormalCriticalValue, ToleratesUlpNoiseButNotNearMisses) {
+  // A level built by arithmetic (1 - 0.05 != 0.95 exactly) must still
+  // resolve — the old exact == rejected it.
+  const double computed = 1.0 - 0.05;
+  auto z = NormalCriticalValue(computed);
+  ASSERT_OK(z);
+  EXPECT_EQ(*z, 1.959963984540054);
+  auto z_up = NormalCriticalValue(std::nextafter(0.95, 1.0));
+  auto z_down = NormalCriticalValue(std::nextafter(0.95, 0.0));
+  ASSERT_OK(z_up);
+  ASSERT_OK(z_down);
+  EXPECT_EQ(*z_up, 1.959963984540054);
+  EXPECT_EQ(*z_down, 1.959963984540054);
+  // Genuinely different levels stay rejected — the tolerance is ULP
+  // noise, not rounding to the nearest supported level.
+  EXPECT_FALSE(NormalCriticalValue(0.94).ok());
+  EXPECT_FALSE(NormalCriticalValue(0.95 + 1e-6).ok());
+  EXPECT_FALSE(NormalCriticalValue(0.951).ok());
+}
+
+TEST(LatencyHistogram, BucketEdgesMonotoneAndSaturated) {
+  // Sweep every index — including the 16 at the top that only
+  // QuantileNanos's fallthrough can reach. Before the saturation
+  // clamp, indices >= 496 computed 1 << (64..65): undefined behavior
+  // (UBSan flags it) and garbage edges.
+  uint64_t prev = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const uint64_t edge = LatencyHistogram::BucketUpperEdge(i);
+    EXPECT_GE(edge, prev);
+    prev = edge;
+  }
+  EXPECT_EQ(LatencyHistogram::BucketUpperEdge(LatencyHistogram::kNumBuckets - 1),
+            UINT64_MAX);
+
+  // Every recordable value maps to a bucket whose edge is >= it.
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{17}, uint64_t{1} << 40, uint64_t{1} << 62,
+        (uint64_t{1} << 63) + 12345, UINT64_MAX}) {
+    const int index = LatencyHistogram::BucketIndex(v);
+    ASSERT_TRUE(index >= 0 && index < LatencyHistogram::kNumBuckets);
+    EXPECT_GE(LatencyHistogram::BucketUpperEdge(index), v);
+  }
+
+  // A histogram holding the extreme sample still answers quantiles.
+  LatencyHistogram hist;
+  hist.Record(UINT64_MAX);
+  hist.Record(100);
+  EXPECT_EQ(hist.QuantileNanos(1.0), UINT64_MAX);
+  EXPECT_GE(hist.QuantileNanos(0.25), 100u);
+}
+
+TEST(QueryServer, ExpandGroupByCoversTheEffectiveRange) {
+  AggregateQuery query;
+  query.predicates.push_back({0, 10, 20});
+
+  // No SA predicate: the full domain, one request per value.
+  const auto full = ExpandGroupBy(query, 5);
+  ASSERT_EQ(full.size(), 5u);
+  for (int32_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(full[v].kind == AggregateKind::kGroupCount);
+    EXPECT_EQ(full[v].group_value, v);
+    EXPECT_EQ(full[v].query.predicates.size(), query.predicates.size());
+  }
+
+  // An SA range clamps to the domain.
+  query.sa_lo = 3;
+  query.sa_hi = 9;
+  const auto clamped = ExpandGroupBy(query, 5);
+  ASSERT_EQ(clamped.size(), 2u);
+  EXPECT_EQ(clamped[0].group_value, 3);
+  EXPECT_EQ(clamped[1].group_value, 4);
+
+  // An inverted range is "no SA predicate", not an empty expansion.
+  query.sa_lo = 4;
+  query.sa_hi = 1;
+  EXPECT_EQ(ExpandGroupBy(query, 5).size(), 5u);
+
+  // A fully out-of-domain range expands to nothing.
+  query.sa_lo = 7;
+  query.sa_hi = 9;
+  EXPECT_TRUE(ExpandGroupBy(query, 5).empty());
+}
+
+// Builds a mixed-aggregate request batch over `workload`: each query
+// contributes its COUNT, SUM, and AVG forms plus its full GROUP-BY
+// expansion.
+std::vector<ServedRequest> MixedRequests(
+    const std::vector<AggregateQuery>& workload, int32_t sa_num_values) {
+  std::vector<ServedRequest> requests;
+  for (const AggregateQuery& query : workload) {
+    requests.push_back({query, AggregateKind::kCount, 0});
+    requests.push_back({query, AggregateKind::kSum, 0});
+    requests.push_back({query, AggregateKind::kAvg, 0});
+    for (ServedRequest& r : ExpandGroupBy(query, sa_num_values)) {
+      requests.push_back(std::move(r));
+    }
+  }
+  return requests;
+}
+
+TEST(QueryServer, MixedBatchMatchesEstimatorMethods) {
+  const auto table = UniformWideTable(3000, /*seed=*/33);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 9)));
+  auto server = QueryServer::Create(estimator, QueryServerOptions());
+  ASSERT_OK(server);
+  const double z = *NormalCriticalValue((*server)->confidence());
+
+  WorkloadOptions options;
+  options.num_queries = 30;
+  options.lambda = 2;
+  options.include_sa = true;
+  options.seed = 37;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<ServedRequest> requests =
+      MixedRequests(*workload, estimator->sa_num_values());
+
+  const std::vector<ServedAnswer> answers =
+      (*server)->AnswerBatch(Span<ServedRequest>(requests));
+  ASSERT_EQ(answers.size(), requests.size());
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ServedRequest& request = requests[i];
+    EstimateWithVariance expected;
+    bool integer_valued = true;
+    switch (request.kind) {
+      case AggregateKind::kCount:
+        expected = estimator->EstimateWithUncertainty(request.query);
+        break;
+      case AggregateKind::kSum:
+        expected = estimator->EstimateSumWithUncertainty(request.query);
+        break;
+      case AggregateKind::kAvg:
+        expected = estimator->EstimateAvgWithUncertainty(request.query);
+        integer_valued = false;
+        break;
+      case AggregateKind::kGroupCount:
+        expected = estimator->EstimateGroupByWithUncertainty(
+            request.query)[request.group_value];
+        break;
+    }
+    EXPECT_EQ(answers[i].estimate, expected.estimate);
+    const double sd =
+        DeterministicSqrt(expected.variance > 0.0 ? expected.variance : 0.0);
+    const double half = integer_valued ? z * sd + 0.5 : z * sd;
+    const double lo = expected.estimate - half;
+    EXPECT_EQ(answers[i].ci_lo, lo > 0.0 ? lo : 0.0);
+    EXPECT_EQ(answers[i].ci_hi, expected.estimate + half);
+  }
+}
+
+TEST(QueryServer, SubmitBatchMatchesSynchronousAnswersBitwise) {
+  const auto table = UniformWideTable(4000, /*seed=*/43);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 7)));
+
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.lambda = 2;
+  options.include_sa = true;
+  options.seed = 47;
+  auto workload = GenerateWorkload(table->schema(), options);
+  ASSERT_OK(workload);
+  const std::vector<ServedRequest> requests =
+      MixedRequests(*workload, estimator->sa_num_values());
+
+  // Reference answers from a single-worker synchronous server.
+  std::vector<ServedAnswer> count_reference;
+  std::vector<ServedAnswer> mixed_reference;
+  {
+    auto server = QueryServer::Create(estimator, QueryServerOptions());
+    ASSERT_OK(server);
+    count_reference = (*server)->AnswerBatch(*workload);
+    mixed_reference = (*server)->AnswerBatch(Span<ServedRequest>(requests));
+  }
+
+  const auto expect_same = [](const std::vector<ServedAnswer>& got,
+                              const std::vector<ServedAnswer>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].estimate, want[i].estimate);
+      EXPECT_EQ(got[i].ci_lo, want[i].ci_lo);
+      EXPECT_EQ(got[i].ci_hi, want[i].ci_hi);
+    }
+  };
+
+  for (int workers : {1, 2, 8}) {
+    QueryServerOptions server_options;
+    server_options.num_workers = workers;
+    server_options.chunk_size = 16;
+    auto server = QueryServer::Create(estimator, server_options);
+    ASSERT_OK(server);
+
+    // Several async batches queued back to back, interleaved shapes.
+    auto count_future = (*server)->SubmitBatch(*workload);
+    auto mixed_future = (*server)->SubmitBatch(requests);
+    auto count_again = (*server)->SubmitBatch(*workload);
+    expect_same(count_future.get(), count_reference);
+    expect_same(mixed_future.get(), mixed_reference);
+    expect_same(count_again.get(), count_reference);
+
+    // The synchronous overloads agree too.
+    expect_same((*server)->AnswerBatch(*workload), count_reference);
+    expect_same((*server)->AnswerBatch(Span<ServedRequest>(requests)),
+                mixed_reference);
+
+    // Batch latency attribution: one sample per completed non-empty
+    // batch (3 async + 2 sync).
+    EXPECT_EQ((*server)->BatchHistogram().count(), 5u);
+  }
+}
+
+TEST(QueryServer, EmptySubmitBatchYieldsReadyEmptyFuture) {
+  const auto table = UniformWideTable(100, /*seed=*/51);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 2)));
+  QueryServerOptions options;
+  options.num_workers = 2;
+  auto server = QueryServer::Create(estimator, options);
+  ASSERT_OK(server);
+  auto future = (*server)->SubmitBatch(std::vector<AggregateQuery>());
+  ASSERT_TRUE(future.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready);
+  EXPECT_TRUE(future.get().empty());
+  EXPECT_EQ((*server)->BatchHistogram().count(), 0u);
+  // Empty synchronous batches answer immediately as well.
+  EXPECT_TRUE((*server)->AnswerBatch(Span<AggregateQuery>()).empty());
+}
+
+TEST(QueryServer, ConcurrentClientsGetConsistentAnswers) {
+  const auto table = UniformWideTable(2000, /*seed=*/57);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 5)));
+  QueryServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.chunk_size = 8;
+  auto server = QueryServer::Create(estimator, server_options);
+  ASSERT_OK(server);
+
+  constexpr int kClients = 6;
+  constexpr int kBatchesPerClient = 4;
+  std::vector<std::vector<AggregateQuery>> workloads;
+  std::vector<std::vector<ServedAnswer>> references;
+  for (int c = 0; c < kClients; ++c) {
+    WorkloadOptions options;
+    options.num_queries = 60;
+    options.lambda = 2;
+    options.include_sa = (c % 2 == 1);
+    options.seed = 200 + static_cast<uint64_t>(c);
+    auto workload = GenerateWorkload(table->schema(), options);
+    BETALIKE_CHECK(workload.ok());
+    workloads.push_back(std::move(*workload));
+  }
+  {
+    // Single-worker reference server for the expected answers.
+    auto reference_server =
+        QueryServer::Create(estimator, QueryServerOptions());
+    BETALIKE_CHECK(reference_server.ok());
+    for (const auto& workload : workloads) {
+      references.push_back((*reference_server)->AnswerBatch(workload));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int b = 0; b < kBatchesPerClient; ++b) {
+        auto future = (*server)->SubmitBatch(workloads[c]);
+        const std::vector<ServedAnswer> answers = future.get();
+        if (answers.size() != references[c].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < answers.size(); ++i) {
+          if (answers[i].estimate != references[c][i].estimate ||
+              answers[i].ci_lo != references[c][i].ci_lo ||
+              answers[i].ci_hi != references[c][i].ci_hi) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ((*server)->BatchHistogram().count(),
+            static_cast<uint64_t>(kClients * kBatchesPerClient));
+}
+
+// An estimator whose first evaluation blocks until the process dies:
+// lets the death test below hold one synchronous batch in flight
+// deterministically while a second call trips the guard.
+class BlockingEstimator final : public Estimator {
+ public:
+  std::string Name() const override { return "blocking"; }
+  double Estimate(const AggregateQuery& query) const override {
+    return EstimateWithUncertainty(query).estimate;
+  }
+  EstimateWithVariance EstimateWithUncertainty(
+      const AggregateQuery&) const override {
+    entered.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return released; });
+    return {};
+  }
+  int32_t sa_num_values() const override { return 1; }
+  EstimateWithVariance EstimateSumWithUncertainty(
+      const AggregateQuery&) const override {
+    return {};
+  }
+
+  mutable std::atomic<bool> entered{false};
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool released = false;
+};
+
+TEST(QueryServer, ConcurrentSynchronousAnswerBatchDies) {
+  // The framework has no death-test support, so fork: the child must
+  // abort (BETALIKE_CHECK -> SIGABRT) when a second thread calls the
+  // synchronous AnswerBatch while one is in flight.
+  const pid_t pid = fork();
+  ASSERT_TRUE(pid >= 0);
+  if (pid == 0) {
+    // Child. Quiet the expected CHECK message.
+    std::freopen("/dev/null", "w", stderr);
+    auto estimator = std::make_shared<BlockingEstimator>();
+    auto server = QueryServer::Create(estimator, QueryServerOptions());
+    if (!server.ok()) std::_Exit(2);
+    std::vector<AggregateQuery> batch(1);
+    std::thread first([&] {
+      (*server)->AnswerBatch(Span<AggregateQuery>(batch));
+    });
+    while (!estimator->entered.load()) {
+      std::this_thread::yield();
+    }
+    // The first batch is pinned inside the estimator; this call must
+    // CHECK-fail, which aborts before it could ever race.
+    (*server)->AnswerBatch(Span<AggregateQuery>(batch));
+    std::_Exit(3);  // not reached if the guard works
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+}
+
+TEST(QueryServer, SubmitBatchLegalWhileSynchronousBatchInFlight) {
+  // The guard is specific to overlapping *synchronous* calls: an async
+  // submission during a synchronous batch must simply queue behind it.
+  const auto table = UniformWideTable(500, /*seed=*/61);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 3)));
+  QueryServerOptions options;
+  options.num_workers = 3;
+  auto server = QueryServer::Create(estimator, options);
+  ASSERT_OK(server);
+
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 120;
+  workload_options.seed = 67;
+  auto workload = GenerateWorkload(table->schema(), workload_options);
+  ASSERT_OK(workload);
+
+  std::future<std::vector<ServedAnswer>> async_future;
+  std::thread submitter([&] {
+    async_future = (*server)->SubmitBatch(*workload);
+  });
+  const std::vector<ServedAnswer> sync_answers =
+      (*server)->AnswerBatch(*workload);
+  submitter.join();
+  const std::vector<ServedAnswer> async_answers = async_future.get();
+  ASSERT_EQ(async_answers.size(), sync_answers.size());
+  for (size_t i = 0; i < async_answers.size(); ++i) {
+    EXPECT_EQ(async_answers[i].estimate, sync_answers[i].estimate);
+    EXPECT_EQ(async_answers[i].ci_lo, sync_answers[i].ci_lo);
+    EXPECT_EQ(async_answers[i].ci_hi, sync_answers[i].ci_hi);
+  }
+}
+
+TEST(QueryServer, DestructorDrainsQueuedJobs) {
+  const auto table = UniformWideTable(1500, /*seed=*/71);
+  const auto estimator = MakeEstimatorOrDie(
+      PublishedView::Generalized(ModKPublication(table, 4)));
+  WorkloadOptions workload_options;
+  workload_options.num_queries = 80;
+  workload_options.seed = 73;
+  auto workload = GenerateWorkload(table->schema(), workload_options);
+  ASSERT_OK(workload);
+
+  std::vector<std::future<std::vector<ServedAnswer>>> futures;
+  {
+    QueryServerOptions options;
+    options.num_workers = 2;
+    auto server = QueryServer::Create(estimator, options);
+    ASSERT_OK(server);
+    for (int b = 0; b < 8; ++b) {
+      futures.push_back((*server)->SubmitBatch(*workload));
+    }
+    // Server destroyed here with jobs likely still queued.
+  }
+  for (auto& future : futures) {
+    const std::vector<ServedAnswer> answers = future.get();
+    ASSERT_EQ(answers.size(), workload->size());
+    for (size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i].estimate, estimator->Estimate((*workload)[i]));
+    }
+  }
 }
 
 }  // namespace
