@@ -8,20 +8,37 @@
 // through SubmitBatch and scored against PreciseSums /
 // PreciseGroupCounts ground truth, with whole-batch latency quantiles.
 //
+// The hardening panels exercise the overload machinery end to end:
+// "admission" floods a capped kReject server with a 10x oversubmit
+// burst (rejects counted, queue demonstrably bounded) and probes the
+// deadline path (already-expired rejection, chunk-aligned mid-flight
+// shed suffix); "fairness" runs the mixed 4096-vs-16 batch panel and
+// hard-fails if the small client's p95 tracks the large batch's
+// makespan (the head-of-line blocking deficit-round-robin removes);
+// "epochs" performs a live 2-epoch publish/retire swap through
+// EpochServer with the cross-epoch CI-overlap consistency CHECK.
+//
 // Knobs (environment):
-//   BENCH_QPS_ROWS         census size          (default: DefaultRows())
-//   BENCH_QPS_MAX_THREADS  largest worker count (default: 8)
-//   BENCH_QPS_BATCH        queries per AnswerBatch call (default: 1024)
-//   BENCH_QPS_QUERIES      queries per throughput point (default: 2M)
-//   BENCH_QPS_JSON         output path          (default: BENCH_qps.json)
+//   BENCH_QPS_ROWS           census size          (default: DefaultRows())
+//   BENCH_QPS_MAX_THREADS    largest worker count (default: 8)
+//   BENCH_QPS_BATCH          queries per AnswerBatch call (default: 1024)
+//   BENCH_QPS_QUERIES        queries per throughput point (default: 2M)
+//   BENCH_QPS_JSON           output path          (default: BENCH_qps.json)
+//   BENCH_QPS_HARDENING_ONLY non-empty, non-"0": skip the throughput /
+//                            calibration / aggregate sweeps and run
+//                            only the hardening panels (the smoke
+//                            ctest's fast path)
 //
 // Emits the measured series as JSON for the CI artifact. Throughput is
 // machine-dependent and only reported; the bench hard-fails on the
 // machine-independent properties — answers bit-identical across worker
 // counts and across the sync/async entry points, 95% CI coverage
-// within [0.85, 1.0] on every λ, and aggregate-panel coverage floors.
+// within [0.85, 1.0] on every λ, aggregate-panel coverage floors, and
+// the hardening-panel contracts above.
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <cstdio>
@@ -30,6 +47,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -40,6 +58,7 @@
 #include "query/estimator.h"
 #include "query/published_view.h"
 #include "query/workload.h"
+#include "serve/epoch_server.h"
 #include "serve/query_server.h"
 
 namespace betalike {
@@ -99,8 +118,10 @@ void CheckDeterminism(const std::shared_ptr<const Estimator>& estimator,
         << "answers differ between 1 and " << workers << " workers";
   }
   for (int workers : {1, 2, max_threads}) {
-    const std::vector<ServedAnswer> got =
-        MakeServer(estimator, workers)->SubmitBatch(workload).get();
+    const std::unique_ptr<QueryServer> server = MakeServer(estimator, workers);
+    auto submitted = server->SubmitBatch(workload);
+    BETALIKE_CHECK(submitted.ok()) << submitted.status().ToString();
+    const std::vector<ServedAnswer> got = submitted->get();
     BETALIKE_CHECK(got.size() == reference.size());
     BETALIKE_CHECK(std::memcmp(got.data(), reference.data(),
                                got.size() * sizeof(ServedAnswer)) == 0)
@@ -252,8 +273,10 @@ std::vector<ServedAnswer> ServeAsync(QueryServer& server,
   for (size_t off = 0; off < requests.size(); off += sub_batch) {
     const size_t n = std::min(sub_batch, requests.size() - off);
     const auto begin = requests.begin() + static_cast<std::ptrdiff_t>(off);
-    futures.push_back(server.SubmitBatch(
-        std::vector<ServedRequest>(begin, begin + static_cast<std::ptrdiff_t>(n))));
+    auto submitted = server.SubmitBatch(std::vector<ServedRequest>(
+        begin, begin + static_cast<std::ptrdiff_t>(n)));
+    BETALIKE_CHECK(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(*submitted));
   }
   *batches += futures.size();
   std::vector<ServedAnswer> answers;
@@ -319,10 +342,275 @@ AggregatesResult MeasureAggregates(
   return result;
 }
 
+struct AdmissionResult {
+  size_t cap = 0;
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  size_t served_requests = 0;
+  size_t max_queued_seen = 0;
+  bool pre_expired_rejected = false;
+  size_t deadline_shed = 0;  // kDeadlineExceeded answers, tight-deadline probe
+};
+
+// Floods a capped kReject server with a 10x oversubmit burst: the cap
+// must shed (rejects counted) and the queue must stay bounded — the
+// unbounded-deque growth this PR removes. Then probes the deadline
+// path: an already-expired batch is rejected with a status, and a
+// tight mid-flight deadline sheds (if anything) a chunk-aligned
+// kDeadlineExceeded suffix, never holes.
+AdmissionResult MeasureAdmission(
+    const std::shared_ptr<const Estimator>& estimator,
+    const std::vector<AggregateQuery>& workload, int workers) {
+  AdmissionResult result;
+  result.cap = 2048;
+  QueryServerOptions options;
+  options.num_workers = workers;
+  options.max_queued_requests = result.cap;
+  options.admission_policy = AdmissionPolicy::kReject;
+  auto created = QueryServer::Create(estimator, options);
+  BETALIKE_CHECK(created.ok()) << created.status().ToString();
+  QueryServer& server = **created;
+
+  const Span<AggregateQuery> all(workload);
+  constexpr int kBurst = 40;
+  constexpr size_t kBatch = 1024;  // 40 x 1024 vs a cap of 2048: 20x
+  std::vector<std::future<std::vector<ServedAnswer>>> futures;
+  for (int b = 0; b < kBurst; ++b) {
+    const Span<AggregateQuery> slice =
+        all.Slice((static_cast<size_t>(b) * kBatch) % workload.size(), kBatch);
+    ++result.submitted;
+    auto submitted = server.SubmitBatch(
+        std::vector<AggregateQuery>(slice.data(), slice.data() + slice.size()));
+    result.max_queued_seen =
+        std::max(result.max_queued_seen, server.queued_requests());
+    if (submitted.ok()) {
+      ++result.admitted;
+      futures.push_back(std::move(*submitted));
+    } else {
+      BETALIKE_CHECK(submitted.status().code() ==
+                     StatusCode::kResourceExhausted)
+          << submitted.status().ToString();
+      ++result.rejected;
+    }
+  }
+  for (auto& future : futures) result.served_requests += future.get().size();
+  BETALIKE_CHECK(result.rejected > 0)
+      << "a 20x oversubmit burst was fully admitted past the cap";
+  BETALIKE_CHECK(result.max_queued_seen <= result.cap)
+      << "queue grew past max_queued_requests: " << result.max_queued_seen;
+  BETALIKE_CHECK(result.served_requests ==
+                 static_cast<size_t>(result.admitted) * kBatch);
+
+  // Deadline, already expired at submission: a status, not a future —
+  // identical at every worker count.
+  {
+    SubmitOptions expired;
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    const Span<AggregateQuery> slice = all.Slice(0, 256);
+    auto submitted = server.SubmitBatch(
+        std::vector<AggregateQuery>(slice.data(), slice.data() + slice.size()),
+        expired);
+    BETALIKE_CHECK(!submitted.ok() &&
+                   submitted.status().code() == StatusCode::kDeadlineExceeded)
+        << "already-expired batch was not rejected";
+    result.pre_expired_rejected = true;
+  }
+
+  // Deadline mid-flight: whatever the cut point lands on, the shed
+  // answers must be a kDeadlineExceeded suffix. On a slow build
+  // (sanitizers) the tight window can elapse before submission — then
+  // the batch is shed whole at the door, the other legal outcome.
+  {
+    std::vector<AggregateQuery> batch(all.data(), all.data() + result.cap);
+    SubmitOptions tight;
+    tight.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(200);
+    auto submitted = server.SubmitBatch(std::move(batch), tight);
+    if (!submitted.ok()) {
+      BETALIKE_CHECK(submitted.status().code() ==
+                     StatusCode::kDeadlineExceeded)
+          << submitted.status().ToString();
+      result.deadline_shed = result.cap;
+    } else {
+      const std::vector<ServedAnswer> answers = submitted->get();
+      size_t cut = answers.size();
+      for (size_t i = 0; i < answers.size(); ++i) {
+        if (answers[i].status == AnswerStatus::kDeadlineExceeded) {
+          cut = i;
+          break;
+        }
+      }
+      for (size_t i = 0; i < answers.size(); ++i) {
+        BETALIKE_CHECK((answers[i].status == AnswerStatus::kDeadlineExceeded) ==
+                       (i >= cut))
+            << "deadline expiry punched a hole at index " << i;
+      }
+      result.deadline_shed = answers.size() - cut;
+    }
+  }
+  return result;
+}
+
+struct FairnessResult {
+  int workers = 0;
+  size_t big_batch = 4096;
+  size_t small_batch = 16;
+  int big_batches = 0;
+  int small_batches = 0;
+  double big_mean_us = 0.0;
+  double small_p50_us = 0.0;
+  double small_p95_us = 0.0;
+  double ratio = 0.0;  // small p95 / big mean
+};
+
+// The mixed 4096-vs-16 panel: one client keeps 4096-request batches in
+// flight while another submits 16-request batches and times them
+// client-side (submit → answers). Under strict FIFO the small client's
+// p95 tracks the big batch's makespan (ratio ≈ 1); deficit-round-robin
+// bounds its wait at one chunk per competitor (ratio ≪ 1). The CHECK
+// keeps a wide margin for noisy CI machines.
+FairnessResult MeasureFairness(
+    const std::shared_ptr<const Estimator>& estimator,
+    const std::vector<AggregateQuery>& workload, int workers) {
+  FairnessResult result;
+  result.workers = workers;
+  QueryServerOptions options;
+  options.num_workers = workers;
+  options.chunk_size = 64;
+  auto created = QueryServer::Create(estimator, options);
+  BETALIKE_CHECK(created.ok()) << created.status().ToString();
+  QueryServer& server = **created;
+
+  BETALIKE_CHECK(workload.size() >= result.big_batch);
+  const std::vector<AggregateQuery> big(
+      workload.data(), workload.data() + result.big_batch);
+  const std::vector<AggregateQuery> small(
+      workload.data(), workload.data() + result.small_batch);
+
+  std::atomic<bool> stop{false};
+  std::vector<double> big_us;
+  std::thread big_client([&] {
+    SubmitOptions submit;
+    submit.client_id = 1;
+    while (!stop.load()) {
+      const auto start = std::chrono::steady_clock::now();
+      auto submitted = server.SubmitBatch(big, submit);
+      BETALIKE_CHECK(submitted.ok()) << submitted.status().ToString();
+      submitted->get();
+      big_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+    }
+  });
+
+  constexpr int kSmallBatches = 60;
+  std::vector<double> small_us;
+  small_us.reserve(kSmallBatches);
+  SubmitOptions submit;
+  submit.client_id = 2;
+  for (int b = 0; b < kSmallBatches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    auto submitted = server.SubmitBatch(small, submit);
+    BETALIKE_CHECK(submitted.ok()) << submitted.status().ToString();
+    submitted->get();
+    small_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+  }
+  stop.store(true);
+  big_client.join();
+  BETALIKE_CHECK(!big_us.empty());
+
+  result.big_batches = static_cast<int>(big_us.size());
+  result.small_batches = kSmallBatches;
+  double big_sum = 0.0;
+  for (double us : big_us) big_sum += us;
+  result.big_mean_us = big_sum / static_cast<double>(big_us.size());
+  std::sort(small_us.begin(), small_us.end());
+  result.small_p50_us = small_us[small_us.size() / 2];
+  result.small_p95_us = small_us[small_us.size() * 95 / 100];
+  result.ratio = result.small_p95_us / result.big_mean_us;
+  BETALIKE_CHECK(result.small_p95_us < 0.5 * result.big_mean_us)
+      << "small client's p95 (" << result.small_p95_us
+      << " us) tracks the big batch's makespan (" << result.big_mean_us
+      << " us): head-of-line blocking is back";
+  return result;
+}
+
+struct EpochsResult {
+  size_t queries = 0;
+  double consistent_fraction = 0.0;
+  bool swap_ok = false;
+};
+
+// Live 2-epoch swap: serve the same workload on a β=4 publication
+// (epoch 1) and, published mid-flight, a β=2 publication of the same
+// table (epoch 2), retiring epoch 1 while its batch may still be in
+// flight. Adjacent epochs of one table must agree within the union of
+// their CIs on nearly every query.
+EpochsResult MeasureEpochs(const std::shared_ptr<const Table>& table,
+                           const std::shared_ptr<const Estimator>& epoch1,
+                           int workers) {
+  auto epoch2_result = MakeEstimator(
+      PublishedView::Generalized(bench::Publish(table, {"burel", 2.0})));
+  BETALIKE_CHECK(epoch2_result.ok()) << epoch2_result.status().ToString();
+  const std::shared_ptr<const Estimator> epoch2 =
+      std::move(epoch2_result).value();
+
+  QueryServerOptions options;
+  options.num_workers = workers;
+  options.chunk_size = 64;
+  auto created = EpochServer::Create(1, epoch1, options);
+  BETALIKE_CHECK(created.ok()) << created.status().ToString();
+  EpochServer& server = **created;
+
+  const std::vector<AggregateQuery> workload =
+      MakeWorkload(table->schema(), 400, /*lambda=*/2, /*theta=*/0.1,
+                   /*seed=*/61);
+  std::vector<ServedRequest> requests;
+  requests.reserve(workload.size());
+  for (const AggregateQuery& query : workload) {
+    requests.push_back({query, AggregateKind::kCount, 0});
+  }
+
+  auto on1 = server.SubmitBatch(requests, 1);
+  BETALIKE_CHECK(on1.ok()) << on1.status().ToString();
+  // Swap while the epoch-1 batch is (likely) still in flight: publish
+  // the successor, route the same workload to it, retire the old one.
+  BETALIKE_CHECK(server.PublishEpoch(2, epoch2).ok());
+  auto on2 = server.SubmitBatch(requests);  // latest = 2
+  BETALIKE_CHECK(server.RetireEpoch(1).ok());
+  BETALIKE_CHECK(on2.ok()) << on2.status().ToString();
+
+  const std::vector<ServedAnswer> answers1 = on1->get();
+  const std::vector<ServedAnswer> answers2 = on2->get();
+  BETALIKE_CHECK(answers1.size() == answers2.size());
+  EpochsResult result;
+  result.queries = answers1.size();
+  size_t consistent = 0;
+  for (size_t i = 0; i < answers1.size(); ++i) {
+    if (CrossEpochConsistent(answers1[i], answers2[i])) ++consistent;
+  }
+  result.consistent_fraction =
+      static_cast<double>(consistent) / static_cast<double>(answers1.size());
+  BETALIKE_CHECK(result.consistent_fraction >= 0.9)
+      << "adjacent epochs disagree beyond their CIs on "
+      << (answers1.size() - consistent) << " of " << answers1.size()
+      << " queries";
+  result.swap_ok =
+      server.latest_epoch() == 2 && server.epochs().size() == 1;
+  BETALIKE_CHECK(result.swap_ok);
+  return result;
+}
+
 void WriteJson(const std::string& path, int64_t rows,
                const std::vector<ThroughputPoint>& throughput,
                const std::vector<CalibrationPoint>& calibration,
-               const AggregatesResult& aggregates) {
+               const AggregatesResult& aggregates,
+               const AdmissionResult& admission,
+               const FairnessResult& fairness, const EpochsResult& epochs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   BETALIKE_CHECK(f != nullptr) << "cannot write " << path;
   std::fprintf(f, "{\n  \"rows\": %lld,\n  \"throughput\": [\n",
@@ -356,9 +644,34 @@ void WriteJson(const std::string& path, int64_t rows,
   }
   std::fprintf(f,
                "  ],\n  \"batch_latency\": {\"batches\": %zu, "
-               "\"p50_us\": %.2f, \"p95_us\": %.2f}\n}\n",
+               "\"p50_us\": %.2f, \"p95_us\": %.2f},\n",
                aggregates.batches, aggregates.batch_p50_us,
                aggregates.batch_p95_us);
+  std::fprintf(f,
+               "  \"admission\": {\"cap\": %zu, \"submitted\": %d, "
+               "\"admitted\": %d, \"rejected\": %d, "
+               "\"served_requests\": %zu, \"max_queued_seen\": %zu, "
+               "\"pre_expired_rejected\": %s, \"deadline_shed\": %zu},\n",
+               admission.cap, admission.submitted, admission.admitted,
+               admission.rejected, admission.served_requests,
+               admission.max_queued_seen,
+               admission.pre_expired_rejected ? "true" : "false",
+               admission.deadline_shed);
+  std::fprintf(f,
+               "  \"fairness\": {\"workers\": %d, \"big_batch\": %zu, "
+               "\"small_batch\": %zu, \"big_batches\": %d, "
+               "\"small_batches\": %d, \"big_mean_us\": %.1f, "
+               "\"small_p50_us\": %.1f, \"small_p95_us\": %.1f, "
+               "\"ratio\": %.4f},\n",
+               fairness.workers, fairness.big_batch, fairness.small_batch,
+               fairness.big_batches, fairness.small_batches,
+               fairness.big_mean_us, fairness.small_p50_us,
+               fairness.small_p95_us, fairness.ratio);
+  std::fprintf(f,
+               "  \"epochs\": {\"queries\": %zu, "
+               "\"consistent_fraction\": %.4f, \"swap_ok\": %s}\n}\n",
+               epochs.queries, epochs.consistent_fraction,
+               epochs.swap_ok ? "true" : "false");
   std::fclose(f);
 }
 
@@ -371,6 +684,10 @@ void Run() {
   const char* json_env = std::getenv("BENCH_QPS_JSON");
   const std::string json_path =
       (json_env != nullptr && *json_env != '\0') ? json_env : "BENCH_qps.json";
+  const char* hardening_env = std::getenv("BENCH_QPS_HARDENING_ONLY");
+  const bool hardening_only = hardening_env != nullptr &&
+                              *hardening_env != '\0' &&
+                              std::strcmp(hardening_env, "0") != 0;
 
   bench::PrintHeader(
       "Serving: COUNT(*) QPS and CI calibration over a BUREL publication",
@@ -392,10 +709,10 @@ void Run() {
       MakeWorkload(table->schema(), 8192, /*lambda=*/2, /*theta=*/0.1,
                    /*seed=*/7);
 
-  CheckDeterminism(estimator, hot, max_threads);
+  if (!hardening_only) CheckDeterminism(estimator, hot, max_threads);
 
   std::vector<ThroughputPoint> throughput;
-  {
+  if (!hardening_only) {
     TextTable out({"workers", "qps", "p50_us", "p95_us", "p99_us"});
     for (int threads = 1; threads <= max_threads; threads *= 2) {
       const ThroughputPoint p = MeasureThroughput(estimator, hot, threads,
@@ -412,7 +729,7 @@ void Run() {
   }
 
   std::vector<CalibrationPoint> calibration;
-  {
+  if (!hardening_only) {
     TextTable out({"lambda", "coverage", "half_width", "median_err"});
     for (int lambda = 1; lambda <= 5; ++lambda) {
       const CalibrationPoint p = MeasureCalibration(
@@ -431,10 +748,13 @@ void Run() {
     std::printf("%s\n", out.ToString().c_str());
   }
 
-  const AggregatesResult aggregates = MeasureAggregates(
-      estimator, table, std::max(200, bench::DefaultQueries() / 4),
-      /*workers=*/std::max(2, max_threads / 2));
-  {
+  const AggregatesResult aggregates =
+      hardening_only
+          ? AggregatesResult{}
+          : MeasureAggregates(estimator, table,
+                              std::max(200, bench::DefaultQueries() / 4),
+                              /*workers=*/std::max(2, max_threads / 2));
+  if (!hardening_only) {
     TextTable out({"kind", "answers", "coverage", "half_width", "median_err"});
     for (const AggregatePoint& p : aggregates.points) {
       out.AddRow({p.kind, StrFormat("%zu", p.answers),
@@ -462,7 +782,39 @@ void Run() {
                 aggregates.batch_p95_us);
   }
 
-  WriteJson(json_path, rows, throughput, calibration, aggregates);
+  const int hardening_workers = std::max(2, max_threads);
+  const AdmissionResult admission =
+      MeasureAdmission(estimator, hot, hardening_workers);
+  std::printf(
+      "--- admission: kReject cap=%zu, %d x 1024-query burst ---\n"
+      "# admitted %d, rejected %d, served %zu requests, max queued %zu\n"
+      "# pre-expired batch rejected: %s; mid-flight deadline shed %zu "
+      "answers (chunk-aligned suffix)\n\n",
+      admission.cap, admission.submitted, admission.admitted,
+      admission.rejected, admission.served_requests, admission.max_queued_seen,
+      admission.pre_expired_rejected ? "yes" : "no", admission.deadline_shed);
+
+  const FairnessResult fairness =
+      MeasureFairness(estimator, hot, hardening_workers);
+  std::printf(
+      "--- fairness: %zu-query client vs %zu-query client, %d workers ---\n"
+      "# big: %d batches, mean %.0f us; small: %d batches, p50 %.0f us, "
+      "p95 %.0f us (ratio %.3f)\n\n",
+      fairness.big_batch, fairness.small_batch, fairness.workers,
+      fairness.big_batches, fairness.big_mean_us, fairness.small_batches,
+      fairness.small_p50_us, fairness.small_p95_us, fairness.ratio);
+
+  const EpochsResult epochs =
+      MeasureEpochs(table, estimator, hardening_workers);
+  std::printf(
+      "--- epochs: live publish(2)/retire(1) swap under load ---\n"
+      "# %zu queries, cross-epoch CI overlap on %.1f%%, final registry "
+      "holds only epoch 2: %s\n\n",
+      epochs.queries, 100.0 * epochs.consistent_fraction,
+      epochs.swap_ok ? "yes" : "no");
+
+  WriteJson(json_path, rows, throughput, calibration, aggregates, admission,
+            fairness, epochs);
   std::printf("# wrote %s\n", json_path.c_str());
 }
 

@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  kResourceExhausted = 7,
+  kDeadlineExceeded = 8,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -47,6 +49,12 @@ class Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -33,6 +33,12 @@ class SyncCallGuard {
   std::atomic<int>* calls_;
 };
 
+ServedAnswer DeadlineExceededAnswer() {
+  ServedAnswer answer;
+  answer.status = AnswerStatus::kDeadlineExceeded;
+  return answer;
+}
+
 }  // namespace
 
 Result<double> NormalCriticalValue(double confidence) {
@@ -56,13 +62,17 @@ Result<double> NormalCriticalValue(double confidence) {
 
 std::vector<ServedRequest> ExpandGroupBy(const AggregateQuery& query,
                                          int32_t sa_num_values) {
+  std::vector<ServedRequest> requests;
+  // A negative domain is a malformed schema, not a range to iterate:
+  // expand to nothing (a zero domain already falls out of the clamp
+  // below, but keeping the guard explicit documents the contract).
+  if (sa_num_values < 0) return requests;
   int32_t lo = 0;
   int32_t hi = sa_num_values - 1;
   if (query.has_sa_predicate()) {
     lo = std::max(query.sa_lo, 0);
     hi = std::min(query.sa_hi, sa_num_values - 1);
   }
-  std::vector<ServedRequest> requests;
   if (lo > hi) return requests;
   requests.reserve(static_cast<size_t>(hi - lo + 1));
   for (int32_t v = lo; v <= hi; ++v) {
@@ -91,10 +101,11 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Create(
 
 QueryServer::QueryServer(std::shared_ptr<const Estimator> estimator,
                          const QueryServerOptions& options, double z)
-    : estimator_(std::move(estimator)),
-      options_(options),
-      z_(z),
-      histograms_(options.num_workers) {
+    : estimator_(std::move(estimator)), options_(options), z_(z) {
+  histograms_.reserve(options_.num_workers);
+  for (int w = 0; w < options_.num_workers; ++w) {
+    histograms_.push_back(std::make_unique<GuardedHistogram>());
+  }
   // Worker 0 is the calling thread; spawn the rest of the pool.
   threads_.reserve(options_.num_workers - 1);
   for (int w = 1; w < options_.num_workers; ++w) {
@@ -108,112 +119,275 @@ QueryServer::~QueryServer() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  // Pool threads only exit once the queue is empty, so every submitted
-  // future completes before the join. Without a pool every job was
-  // answered inline at submission and the queue was never used.
+  // Submitters blocked on admission wake and return FailedPrecondition
+  // (their batches were never admitted, so there is nothing to drain).
+  room_cv_.notify_all();
+  // Pool threads only exit once every claimable chunk is claimed, and
+  // each finishes the chunks it claimed, so every admitted future
+  // completes before the join. Without a pool every job was answered
+  // inline at submission and the queues were never used.
   for (std::thread& t : threads_) t.join();
 }
 
 std::vector<ServedAnswer> QueryServer::AnswerBatch(
-    Span<AggregateQuery> batch) {
+    Span<AggregateQuery> batch, const SubmitOptions& options) {
   SyncCallGuard guard(&sync_calls_);
   if (batch.empty()) return {};
   auto job = std::make_shared<BatchJob>();
   job->count_queries = batch;
+  job->estimator = estimator_;
   job->answers.resize(batch.size());
+  job->start = std::chrono::steady_clock::now();
+  job->deadline = options.deadline;
+  job->has_deadline = options.has_deadline();
   std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
-  Submit(job);
+  if (!threads_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnqueueLocked(job, options.client_id);
+  }
+  work_cv_.notify_all();
   // The caller participates as worker 0 (a no-op once the cursor is
   // exhausted), then waits out the pool.
-  WorkOn(job, 0);
+  DrainJob(job, 0);
   return done.get();
 }
 
 std::vector<ServedAnswer> QueryServer::AnswerBatch(
-    Span<ServedRequest> batch) {
+    Span<ServedRequest> batch, const SubmitOptions& options) {
   SyncCallGuard guard(&sync_calls_);
   if (batch.empty()) return {};
   auto job = std::make_shared<BatchJob>();
   job->requests = batch;
+  job->estimator = estimator_;
   job->answers.resize(batch.size());
+  job->start = std::chrono::steady_clock::now();
+  job->deadline = options.deadline;
+  job->has_deadline = options.has_deadline();
   std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
-  Submit(job);
-  WorkOn(job, 0);
+  if (!threads_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnqueueLocked(job, options.client_id);
+  }
+  work_cv_.notify_all();
+  DrainJob(job, 0);
   return done.get();
 }
 
-std::future<std::vector<ServedAnswer>> QueryServer::SubmitBatch(
-    std::vector<AggregateQuery> batch) {
+Result<std::future<std::vector<ServedAnswer>>> QueryServer::SubmitBatch(
+    std::vector<AggregateQuery> batch, const SubmitOptions& options) {
   auto job = std::make_shared<BatchJob>();
   job->owned_queries = std::move(batch);
   job->count_queries = Span<AggregateQuery>(job->owned_queries);
-  job->answers.resize(job->owned_queries.size());
+  job->estimator = estimator_;
   std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
   if (job->owned_queries.empty()) {
     job->promise.set_value({});
     return done;
   }
-  Submit(job);
+  job->start = std::chrono::steady_clock::now();
+  if (options.has_deadline() && job->start >= options.deadline) {
+    // Checked before any admission or work: an already-expired batch
+    // is rejected identically at every worker count.
+    return Status::DeadlineExceeded(
+        "batch deadline passed before submission");
+  }
+  job->answers.resize(job->owned_queries.size());
+  job->deadline = options.deadline;
+  job->has_deadline = options.has_deadline();
+  if (threads_.empty()) {
+    // No pool: answer on the submitting thread, completing the job
+    // (and its future) before returning. Nothing queues, so admission
+    // control does not apply.
+    DrainJob(job, 0);
+    return done;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Status admitted = AdmitLocked(lock, job->size());
+    if (!admitted.ok()) return admitted;
+    job->counted = true;
+    queued_requests_ += job->size();
+    EnqueueLocked(job, options.client_id);
+  }
+  work_cv_.notify_all();
   return done;
 }
 
-std::future<std::vector<ServedAnswer>> QueryServer::SubmitBatch(
-    std::vector<ServedRequest> batch) {
+Result<std::future<std::vector<ServedAnswer>>> QueryServer::SubmitBatch(
+    std::vector<ServedRequest> batch, const SubmitOptions& options) {
+  return SubmitBatchOn(estimator_, std::move(batch), options);
+}
+
+Result<std::future<std::vector<ServedAnswer>>> QueryServer::SubmitBatchOn(
+    std::shared_ptr<const Estimator> estimator,
+    std::vector<ServedRequest> batch, const SubmitOptions& options) {
+  if (estimator == nullptr) {
+    return Status::InvalidArgument("estimator must not be null");
+  }
   auto job = std::make_shared<BatchJob>();
   job->owned_requests = std::move(batch);
   job->requests = Span<ServedRequest>(job->owned_requests);
-  job->answers.resize(job->owned_requests.size());
+  job->estimator = std::move(estimator);
   std::future<std::vector<ServedAnswer>> done = job->promise.get_future();
   if (job->owned_requests.empty()) {
     job->promise.set_value({});
     return done;
   }
-  Submit(job);
+  job->start = std::chrono::steady_clock::now();
+  if (options.has_deadline() && job->start >= options.deadline) {
+    return Status::DeadlineExceeded(
+        "batch deadline passed before submission");
+  }
+  job->answers.resize(job->owned_requests.size());
+  job->deadline = options.deadline;
+  job->has_deadline = options.has_deadline();
+  if (threads_.empty()) {
+    DrainJob(job, 0);
+    return done;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Status admitted = AdmitLocked(lock, job->size());
+    if (!admitted.ok()) return admitted;
+    job->counted = true;
+    queued_requests_ += job->size();
+    EnqueueLocked(job, options.client_id);
+  }
+  work_cv_.notify_all();
   return done;
 }
 
-void QueryServer::Submit(const std::shared_ptr<BatchJob>& job) {
-  job->start = std::chrono::steady_clock::now();
-  if (threads_.empty()) {
-    // No pool: answer on the submitting thread, completing the job
-    // (and its future) before returning.
-    WorkOn(job, 0);
-    return;
+Status QueryServer::AdmitLocked(std::unique_lock<std::mutex>& lock,
+                                size_t n) {
+  if (shutdown_) {
+    return Status::FailedPrecondition("server is shutting down");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(job);
+  const size_t cap = options_.max_queued_requests;
+  if (cap == 0) return Status::Ok();
+  if (options_.admission_policy == AdmissionPolicy::kReject) {
+    if (queued_requests_ + n > cap) {
+      return Status::ResourceExhausted(
+          "queue full: admitting the batch would exceed "
+          "max_queued_requests");
+    }
+    return Status::Ok();
   }
-  work_cv_.notify_all();
+  // kBlock: wait for room. An over-cap batch can never fit, so it is
+  // admitted alone once the queue fully drains instead of blocking
+  // forever.
+  room_cv_.wait(lock, [this, cap, n] {
+    return shutdown_ || queued_requests_ == 0 ||
+           queued_requests_ + n <= cap;
+  });
+  if (shutdown_) {
+    return Status::FailedPrecondition("server is shutting down");
+  }
+  return Status::Ok();
 }
 
-ServedAnswer QueryServer::AnswerOne(const AggregateQuery& query,
+void QueryServer::EnqueueLocked(const std::shared_ptr<BatchJob>& job,
+                                uint64_t client_id) {
+  ClientState& client = clients_[client_id];
+  if (client.jobs.empty()) {
+    client.deficit = 0;
+    active_ring_.push_back(client_id);
+  }
+  client.jobs.push_back(job);
+}
+
+bool QueryServer::CheckExpiryLocked(BatchJob& job) const {
+  if (job.expired) return true;
+  if (job.has_deadline &&
+      std::chrono::steady_clock::now() >= job.deadline) {
+    job.expired = true;
+  }
+  return job.expired;
+}
+
+bool QueryServer::ClaimNextChunkLocked(Chunk* chunk) {
+  const size_t chunk_size = static_cast<size_t>(options_.chunk_size);
+  while (!active_ring_.empty()) {
+    const uint64_t client_id = active_ring_.front();
+    auto it = clients_.find(client_id);
+    BETALIKE_CHECK(it != clients_.end());
+    ClientState& client = it->second;
+    // Prune jobs fully claimed elsewhere (a synchronous caller drains
+    // its own job without consulting the ring).
+    while (!client.jobs.empty() &&
+           client.jobs.front()->next_index >= client.jobs.front()->size()) {
+      client.jobs.pop_front();
+    }
+    if (client.jobs.empty()) {
+      active_ring_.pop_front();
+      clients_.erase(it);
+      continue;
+    }
+    // Deficit round robin, quantum = one chunk of requests: each turn
+    // a client claims one chunk (a short tail chunk leaves change for
+    // the next turn), then the ring rotates — so a competitor's
+    // head-of-line delay is bounded by one chunk per active client,
+    // not by a whole batch.
+    if (client.deficit <= 0) {
+      client.deficit += static_cast<int64_t>(chunk_size);
+    }
+    const std::shared_ptr<BatchJob>& job = client.jobs.front();
+    const bool expired = CheckExpiryLocked(*job);
+    const size_t begin = job->next_index;
+    // An expired job sheds all remaining requests in one claim — they
+    // cost no estimator work, so there is nothing to interleave.
+    const size_t end =
+        expired ? job->size() : std::min(begin + chunk_size, job->size());
+    job->next_index = end;
+    client.deficit -= static_cast<int64_t>(end - begin);
+    chunk->job = job;  // copy before any pop below invalidates the ref
+    chunk->begin = begin;
+    chunk->end = end;
+    chunk->expired = expired;
+    if (end >= chunk->job->size()) client.jobs.pop_front();
+    if (client.jobs.empty()) {
+      active_ring_.pop_front();
+      clients_.erase(it);
+    } else if (client.deficit <= 0) {
+      active_ring_.pop_front();
+      active_ring_.push_back(client_id);
+    }
+    return true;
+  }
+  return false;
+}
+
+ServedAnswer QueryServer::AnswerOne(const Estimator& estimator,
+                                    const AggregateQuery& query,
                                     AggregateKind kind,
                                     int32_t group_value) const {
   EstimateWithVariance ev;
   bool integer_valued = true;
   switch (kind) {
     case AggregateKind::kCount:
-      ev = estimator_->EstimateWithUncertainty(query);
+      ev = estimator.EstimateWithUncertainty(query);
       break;
     case AggregateKind::kSum:
-      ev = estimator_->EstimateSumWithUncertainty(query);
+      ev = estimator.EstimateSumWithUncertainty(query);
       break;
     case AggregateKind::kAvg:
-      ev = estimator_->EstimateAvgWithUncertainty(query);
+      ev = estimator.EstimateAvgWithUncertainty(query);
       integer_valued = false;
       break;
     case AggregateKind::kGroupCount:
-      if (query.has_sa_predicate() &&
-          (group_value < query.sa_lo || group_value > query.sa_hi)) {
-        // Outside the query's SA range the slot is exactly zero — the
-        // EstimateGroupByWithUncertainty convention.
+      if (group_value < 0 || group_value >= estimator.sa_num_values() ||
+          (query.has_sa_predicate() &&
+           (group_value < query.sa_lo || group_value > query.sa_hi))) {
+        // Outside the publication's SA domain or the query's SA range
+        // the slot is exactly zero — the ExpandGroupBy /
+        // EstimateGroupByWithUncertainty convention. Building a
+        // width-1 point query instead would hand the estimator an
+        // out-of-domain range it never defines an answer for.
         break;
       } else {
         AggregateQuery point = query;
         point.sa_lo = group_value;
         point.sa_hi = group_value;
-        ev = estimator_->EstimateWithUncertainty(point);
+        ev = estimator.EstimateWithUncertainty(point);
       }
       break;
   }
@@ -234,73 +408,108 @@ ServedAnswer QueryServer::AnswerOne(const AggregateQuery& query,
   return out;
 }
 
-void QueryServer::WorkOn(const std::shared_ptr<BatchJob>& job, int worker) {
-  const size_t chunk = static_cast<size_t>(options_.chunk_size);
+void QueryServer::DrainJob(const std::shared_ptr<BatchJob>& job, int worker) {
+  const size_t chunk_size = static_cast<size_t>(options_.chunk_size);
   const size_t size = job->size();
-  const bool count_mode = !job->count_queries.empty();
-  LatencyHistogram& hist = histograms_[worker];
   for (;;) {
-    const size_t begin =
-        job->next_index.fetch_add(chunk, std::memory_order_relaxed);
-    if (begin >= size) return;
-    const size_t end = std::min(begin + chunk, size);
-    for (size_t i = begin; i < end; ++i) {
+    Chunk chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job->next_index >= size) return;
+      const bool expired = CheckExpiryLocked(*job);
+      chunk.job = job;
+      chunk.begin = job->next_index;
+      chunk.end = expired ? size : std::min(chunk.begin + chunk_size, size);
+      chunk.expired = expired;
+      job->next_index = chunk.end;
+      // The ring entry (if any) is pruned lazily by the pool when it
+      // next looks at this client.
+    }
+    AnswerChunk(chunk, worker);
+  }
+}
+
+void QueryServer::AnswerChunk(const Chunk& chunk, int worker) {
+  BatchJob& job = *chunk.job;
+  const bool count_mode = !job.count_queries.empty();
+  GuardedHistogram& guarded = *histograms_[worker];
+  if (chunk.expired) {
+    // Shed, not served: zero placeholders with kDeadlineExceeded, no
+    // estimator work and no per-query latency samples.
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      job.answers[i] = DeadlineExceededAnswer();
+    }
+  } else {
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
       const auto start = std::chrono::steady_clock::now();
-      job->answers[i] =
+      job.answers[i] =
           count_mode
-              ? AnswerOne(job->count_queries[i], AggregateKind::kCount, 0)
-              : AnswerOne(job->requests[i].query, job->requests[i].kind,
-                          job->requests[i].group_value);
-      hist.Record(ElapsedNanos(start, std::chrono::steady_clock::now()));
+              ? AnswerOne(*job.estimator, job.count_queries[i],
+                          AggregateKind::kCount, 0)
+              : AnswerOne(*job.estimator, job.requests[i].query,
+                          job.requests[i].kind, job.requests[i].group_value);
+      const uint64_t nanos =
+          ElapsedNanos(start, std::chrono::steady_clock::now());
+      // The per-worker guard is all but uncontended (only observers
+      // ever share it), but it makes concurrent MergedHistogram /
+      // ResetHistograms well-defined on the async path, where there is
+      // no "between batches" to snapshot in.
+      std::lock_guard<std::mutex> lock(guarded.mu);
+      guarded.hist.Record(nanos);
     }
-    // acq_rel: every worker's answer stores happen-before its own
-    // fetch_add, so the last finisher (which observes completed ==
-    // size) sees all of them before moving the vector out.
-    const size_t done =
-        job->completed.fetch_add(end - begin, std::memory_order_acq_rel) +
-        (end - begin);
-    if (done == size) {
-      const uint64_t batch_nanos =
-          ElapsedNanos(job->start, std::chrono::steady_clock::now());
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        batch_histogram_.Record(batch_nanos);
+  }
+  // acq_rel: every worker's answer stores happen-before its own
+  // fetch_add, so the last finisher (which observes completed == size)
+  // sees all of them before moving the vector out.
+  const size_t size = job.size();
+  const size_t done =
+      job.completed.fetch_add(chunk.end - chunk.begin,
+                              std::memory_order_acq_rel) +
+      (chunk.end - chunk.begin);
+  if (done == size) {
+    const uint64_t batch_nanos =
+        ElapsedNanos(job.start, std::chrono::steady_clock::now());
+    bool notify_room = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_histogram_.Record(batch_nanos);
+      if (job.counted) {
+        queued_requests_ -= size;
+        notify_room = true;
       }
-      job->promise.set_value(std::move(job->answers));
     }
+    if (notify_room) room_cv_.notify_all();
+    job.promise.set_value(std::move(job.answers));
   }
 }
 
 void QueryServer::WorkerLoop(int worker) {
   for (;;) {
-    std::shared_ptr<BatchJob> job;
+    Chunk chunk;
     {
       std::unique_lock<std::mutex> lock(mu_);
       for (;;) {
-        // Jobs stay at the front while they still have unclaimed
-        // chunks so that many workers can serve one batch; an
-        // exhausted job (its last chunks may still be in flight
-        // elsewhere) is popped to expose the next one.
-        while (!queue_.empty() &&
-               queue_.front()->next_index.load(std::memory_order_relaxed) >=
-                   queue_.front()->size()) {
-          queue_.pop_front();
-        }
-        if (!queue_.empty()) {
-          job = queue_.front();
-          break;
-        }
+        if (ClaimNextChunkLocked(&chunk)) break;
         if (shutdown_) return;
         work_cv_.wait(lock);
       }
     }
-    WorkOn(job, worker);
+    AnswerChunk(chunk, worker);
   }
+}
+
+LatencyHistogram QueryServer::worker_histogram(int worker) const {
+  const GuardedHistogram& guarded = *histograms_[worker];
+  std::lock_guard<std::mutex> lock(guarded.mu);
+  return guarded.hist;
 }
 
 LatencyHistogram QueryServer::MergedHistogram() const {
   LatencyHistogram merged;
-  for (const LatencyHistogram& h : histograms_) merged.Merge(h);
+  for (const auto& guarded : histograms_) {
+    std::lock_guard<std::mutex> lock(guarded->mu);
+    merged.Merge(guarded->hist);
+  }
   return merged;
 }
 
@@ -310,9 +519,17 @@ LatencyHistogram QueryServer::BatchHistogram() const {
 }
 
 void QueryServer::ResetHistograms() {
-  for (LatencyHistogram& h : histograms_) h.Reset();
+  for (const auto& guarded : histograms_) {
+    std::lock_guard<std::mutex> lock(guarded->mu);
+    guarded->hist.Reset();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   batch_histogram_.Reset();
+}
+
+size_t QueryServer::queued_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_requests_;
 }
 
 }  // namespace betalike
